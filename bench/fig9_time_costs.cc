@@ -1,0 +1,144 @@
+// Reproduces Fig. 9: training and inference time of the deep methods on an
+// AQI-sized and a METR-LA-sized dataset, via google-benchmark.
+//
+// Measured quantities mirror the paper: one TRAINING epoch per method (the
+// paper reports total training time = epochs x this) and the IMPUTATION of
+// one window (the paper's inference time = windows x samples x this).
+//
+// Expected shape: the diffusion models (CSDI, PriSTI) cost the most, with
+// PriSTI some tens of percent above CSDI (the paper reports +25.7% training
+// and +17.9% inference on METR-LA) because of the conditional-feature
+// module; the gap grows with the node count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace pristi::bench {
+namespace {
+
+enum class Method { kBrits, kGrin, kVrin, kCsdi, kPristi };
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kBrits:
+      return "BRITS";
+    case Method::kGrin:
+      return "GRIN";
+    case Method::kVrin:
+      return "V-RIN";
+    case Method::kCsdi:
+      return "CSDI";
+    case Method::kPristi:
+      return "PriSTI";
+  }
+  return "?";
+}
+
+// Tasks are expensive to build; cache one per preset.
+data::ImputationTask& CachedTask(Preset preset) {
+  static data::ImputationTask aqi = [] {
+    Scale scale = ResolveScale();
+    return MakeTask(Preset::kAqi36, MissingPattern::kSimulatedFailure, scale,
+                    901);
+  }();
+  static data::ImputationTask metr = [] {
+    Scale scale = ResolveScale();
+    return MakeTask(Preset::kMetrLa, MissingPattern::kBlock, scale, 902);
+  }();
+  return preset == Preset::kAqi36 ? aqi : metr;
+}
+
+std::unique_ptr<Imputer> MakeMethod(Method method,
+                                    const data::ImputationTask& task,
+                                    const Scale& scale, Rng& rng) {
+  switch (method) {
+    case Method::kBrits:
+      return std::make_unique<baselines::BritsImputer>(
+          task.dataset.num_nodes, RecurrentOptionsFor(scale), rng);
+    case Method::kGrin:
+      return std::make_unique<baselines::GrinImputer>(
+          task.dataset.num_nodes, task.dataset.graph.adjacency,
+          RecurrentOptionsFor(scale), rng);
+    case Method::kVrin:
+      return std::make_unique<baselines::VrinImputer>(
+          task.dataset.num_nodes, task.window_len, VaeOptionsFor(scale), rng);
+    case Method::kCsdi:
+      return eval::MakeCsdiImputer(CsdiConfigFor(task, scale),
+                                   DiffusionOptionsFor(task, scale), rng);
+    case Method::kPristi:
+      return eval::MakePristiImputer(PristiConfigFor(task, scale),
+                                     task.dataset.graph.adjacency,
+                                     DiffusionOptionsFor(task, scale), rng);
+  }
+  return nullptr;
+}
+
+// Fits with a 1-epoch budget -> measures one training epoch.
+void BM_TrainEpoch(benchmark::State& state) {
+  Preset preset = static_cast<Preset>(state.range(0));
+  Method method = static_cast<Method>(state.range(1));
+  Scale scale = ResolveScale();
+  scale.diffusion_epochs = 1;
+  scale.rnn_epochs = 1;
+  scale.vae_epochs = 1;
+  data::ImputationTask& task = CachedTask(preset);
+  Rng rng(11);
+  auto imputer = MakeMethod(method, task, scale, rng);
+  for (auto _ : state) {
+    Rng fit_rng(12);
+    imputer->Fit(task, fit_rng);
+  }
+  state.SetLabel(std::string(MethodName(method)) + " / " +
+                 PresetName(preset));
+}
+
+// Imputes one window (deterministic output = median of the configured
+// sample count for diffusion models).
+void BM_ImputeWindow(benchmark::State& state) {
+  Preset preset = static_cast<Preset>(state.range(0));
+  Method method = static_cast<Method>(state.range(1));
+  Scale scale = ResolveScale();
+  scale.diffusion_epochs = 1;
+  scale.rnn_epochs = 1;
+  scale.vae_epochs = 1;
+  data::ImputationTask& task = CachedTask(preset);
+  Rng rng(13);
+  auto imputer = MakeMethod(method, task, scale, rng);
+  Rng fit_rng(14);
+  imputer->Fit(task, fit_rng);
+  data::Sample window = data::ExtractSamples(task, "test").front();
+  for (auto _ : state) {
+    Rng run_rng(15);
+    benchmark::DoNotOptimize(imputer->Impute(window, run_rng));
+  }
+  state.SetLabel(std::string(MethodName(method)) + " / " +
+                 PresetName(preset));
+}
+
+void RegisterAll() {
+  for (Preset preset : {Preset::kAqi36, Preset::kMetrLa}) {
+    for (Method method : {Method::kBrits, Method::kGrin, Method::kVrin,
+                          Method::kCsdi, Method::kPristi}) {
+      benchmark::RegisterBenchmark("fig9/train_epoch", BM_TrainEpoch)
+          ->Args({static_cast<int64_t>(preset), static_cast<int64_t>(method)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark("fig9/impute_window", BM_ImputeWindow)
+          ->Args({static_cast<int64_t>(preset), static_cast<int64_t>(method)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pristi::bench
+
+int main(int argc, char** argv) {
+  pristi::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

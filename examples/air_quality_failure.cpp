@@ -1,0 +1,119 @@
+// Scenario: air-quality monitoring with failing stations (paper Sec. IV-E5).
+//
+// An AQI-36-like network loses two stations completely — the one with the
+// highest connectivity and the one with the lowest. PriSTI is trained with
+// those stations masked out and must reconstruct their full series from
+// geography plus the remaining stations (a Kriging-style task, the paper's
+// RQ5). A GRIN-like baseline is run for comparison.
+//
+// Build & run:  ./build/examples/air_quality_failure
+
+#include <cstdio>
+
+#include "baselines/rnn.h"
+#include "data/windows.h"
+#include "eval/harness.h"
+#include "metrics/metrics.h"
+
+using namespace pristi;
+
+namespace {
+
+// Marks every observation of `nodes` as withheld in the task.
+void FailSensors(data::ImputationTask& task,
+                 const std::vector<int64_t>& nodes) {
+  tensor::Tensor failure =
+      data::InjectSensorFailure(task.dataset.observed_mask, nodes);
+  // Union with the existing eval mask; keep the partition invariant.
+  for (int64_t i = 0; i < failure.numel(); ++i) {
+    if (failure[i] > 0.5f) task.eval_mask[i] = 1.0f;
+  }
+  task.model_observed_mask =
+      data::MaskMinus(task.dataset.observed_mask, task.eval_mask);
+}
+
+double NodeMae(baselines::Imputer* imputer, const data::ImputationTask& task,
+               int64_t node, Rng& rng) {
+  metrics::ErrorAccumulator acc;
+  for (const data::Sample& sample : data::ExtractSamples(task, "test")) {
+    tensor::Tensor pred = imputer->Impute(sample, rng);
+    tensor::Tensor pred_raw = task.normalizer.Invert(pred, true);
+    tensor::Tensor truth_raw = task.normalizer.Invert(sample.values, true);
+    tensor::Tensor node_mask = tensor::Tensor::Zeros(sample.eval.shape());
+    for (int64_t step = 0; step < sample.eval.dim(1); ++step) {
+      node_mask.at({node, step}) = sample.eval.at({node, step});
+    }
+    acc.Add(pred_raw, truth_raw, node_mask);
+  }
+  return acc.Mae();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(21);
+  auto dataset = data::GenerateSynthetic(data::Aqi36LikeConfig(20, 720), rng);
+  auto task = data::MakeTask(std::move(dataset),
+                             data::MissingPattern::kSimulatedFailure,
+                             data::TaskOptions{.window_len = 16, .stride = 4},
+                             rng);
+
+  int64_t station_hi =
+      graph::HighestConnectivityNode(task.dataset.graph.adjacency);
+  int64_t station_lo =
+      graph::LowestConnectivityNode(task.dataset.graph.adjacency);
+  std::printf("failing stations: #%lld (highest connectivity), "
+              "#%lld (lowest connectivity)\n",
+              static_cast<long long>(station_hi),
+              static_cast<long long>(station_lo));
+  FailSensors(task, {station_hi, station_lo});
+
+  // PriSTI.
+  core::PristiConfig config;
+  config.num_nodes = task.dataset.num_nodes;
+  config.window_len = task.window_len;
+  config.channels = 16;
+  config.heads = 2;
+  config.layers = 2;
+  config.virtual_nodes = 8;
+  config.diffusion_emb_dim = 32;
+  config.temporal_emb_dim = 32;
+  config.node_emb_dim = 8;
+  config.adaptive_rank = 6;
+  eval::DiffusionRunOptions options;
+  options.diffusion_steps = 30;
+  options.train.epochs = 25;
+  options.train.lr = 2e-3f;
+  options.train.mask_strategy = data::MaskStrategy::kHybridHistorical;
+  options.impute.num_samples = 10;
+  auto pristi = eval::MakePristiImputer(config, task.dataset.graph.adjacency,
+                                        options, rng);
+  std::printf("training PriSTI with the two stations blacked out...\n");
+  pristi->Fit(task, rng);
+
+  // GRIN-like baseline (the only baseline family that can use geography).
+  baselines::RecurrentOptions grin_options;
+  grin_options.hidden = 24;
+  grin_options.epochs = 12;
+  baselines::GrinImputer grin(task.dataset.num_nodes,
+                              task.dataset.graph.adjacency, grin_options,
+                              rng);
+  std::printf("training GRIN baseline...\n");
+  grin.Fit(task, rng);
+
+  Rng eval_rng(22);
+  std::printf("\nreconstruction MAE for unobserved stations (raw units):\n");
+  std::printf("%22s %10s %10s\n", "station", "PriSTI", "GRIN");
+  for (int64_t station : {station_hi, station_lo}) {
+    double pristi_mae = NodeMae(pristi.get(), task, station, eval_rng);
+    double grin_mae = NodeMae(&grin, task, station, eval_rng);
+    std::printf("%20lld   %10.3f %10.3f\n",
+                static_cast<long long>(station), pristi_mae, grin_mae);
+  }
+  std::printf(
+      "\n(The paper's Fig. 7 runs this comparison on AQI-36 at GPU scale, "
+      "where PriSTI\nreconstructs both stations better than GRIN. At this "
+      "demo's tiny training budget\nthe supervised GRIN often wins; raise "
+      "PriSTI's epochs to close the gap.)\n");
+  return 0;
+}

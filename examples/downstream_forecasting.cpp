@@ -1,0 +1,88 @@
+// Scenario: imputation as a preprocessing step for forecasting (paper
+// Table V).
+//
+// The paper's point: better imputation yields better downstream models. We
+// impute an AQI-like dataset once with a naive method (per-node mean) and
+// once with PriSTI, train the same Graph-WaveNet-lite forecaster on each
+// completed dataset, and compare forecast error against ground truth.
+//
+// Build & run:  ./build/examples/downstream_forecasting
+
+#include <cstdio>
+
+#include "baselines/simple.h"
+#include "data/windows.h"
+#include "eval/forecaster.h"
+#include "eval/harness.h"
+
+using namespace pristi;
+
+int main() {
+  Rng rng(55);
+  auto dataset = data::GenerateSynthetic(data::Aqi36LikeConfig(16, 960), rng);
+  tensor::Tensor ground_truth = dataset.values;
+  auto task = data::MakeTask(std::move(dataset),
+                             data::MissingPattern::kSimulatedFailure,
+                             data::TaskOptions{.window_len = 16, .stride = 4},
+                             rng);
+  std::printf("dataset: %s — %.1f%% of the feed is missing or withheld\n\n",
+              task.dataset.name.c_str(),
+              100.0 * (1.0 - data::MaskRate(task.model_observed_mask)));
+
+  eval::ForecastOptions forecast_options;
+  forecast_options.input_len = 12;
+  forecast_options.horizon = 12;
+  forecast_options.epochs = 15;
+
+  std::printf("%10s %16s %16s\n", "imputer", "forecast MAE", "forecast RMSE");
+
+  // --- Naive completion: per-node mean.
+  {
+    baselines::MeanImputer mean;
+    Rng fit_rng(1);
+    mean.Fit(task, fit_rng);
+    tensor::Tensor completed = eval::ImputeSeries(&mean, task, fit_rng);
+    Rng forecast_rng(2);
+    eval::ForecastResult result = eval::TrainAndEvaluateForecaster(
+        completed, task.dataset.graph, ground_truth, forecast_options,
+        forecast_rng);
+    std::printf("%10s %16.3f %16.3f\n", "MEAN", result.mae, result.rmse);
+  }
+
+  // --- PriSTI completion.
+  {
+    core::PristiConfig config;
+    config.num_nodes = task.dataset.num_nodes;
+    config.window_len = task.window_len;
+    config.channels = 16;
+    config.heads = 2;
+    config.layers = 2;
+    config.virtual_nodes = 6;
+    config.diffusion_emb_dim = 32;
+    config.temporal_emb_dim = 32;
+    config.node_emb_dim = 8;
+    config.adaptive_rank = 6;
+    eval::DiffusionRunOptions options;
+    options.diffusion_steps = 30;
+    options.train.epochs = 25;
+    options.train.lr = 2e-3f;
+    options.train.mask_strategy = data::MaskStrategy::kHybridHistorical;
+    options.impute.num_samples = 8;
+    Rng fit_rng(3);
+    auto pristi = eval::MakePristiImputer(
+        config, task.dataset.graph.adjacency, options, fit_rng);
+    std::printf("(training PriSTI...)\n");
+    pristi->Fit(task, fit_rng);
+    tensor::Tensor completed = eval::ImputeSeries(pristi.get(), task, fit_rng);
+    Rng forecast_rng(2);
+    eval::ForecastResult result = eval::TrainAndEvaluateForecaster(
+        completed, task.dataset.graph, ground_truth, forecast_options,
+        forecast_rng);
+    std::printf("%10s %16.3f %16.3f\n", "PriSTI", result.mae, result.rmse);
+  }
+
+  std::printf("\nLower is better: training data completed by a stronger "
+              "imputer produces a\nstronger forecaster (the paper's "
+              "Table V).\n");
+  return 0;
+}

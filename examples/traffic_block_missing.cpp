@@ -1,0 +1,72 @@
+// Scenario: traffic-speed imputation under block missing (paper Sec. IV-D).
+//
+// A METR-LA-like highway sensor network suffers multi-hour outages (block
+// missing). The example trains PriSTI and compares it against the classic
+// methods a traffic engineer would reach for first — linear interpolation
+// (Lin-ITP) and geographic nearest neighbours (KNN) — plus a Kalman
+// smoother, showing where learned spatiotemporal structure pays off.
+//
+// Build & run:  ./build/examples/traffic_block_missing
+
+#include <cstdio>
+
+#include "baselines/kalman.h"
+#include "baselines/simple.h"
+#include "data/windows.h"
+#include "eval/harness.h"
+
+using namespace pristi;
+
+int main() {
+  Rng rng(33);
+  auto dataset =
+      data::GenerateSynthetic(data::MetrLaLikeConfig(24, 864), rng);
+  auto task = data::MakeTask(std::move(dataset), data::MissingPattern::kBlock,
+                             data::TaskOptions{.window_len = 16, .stride = 4},
+                             rng);
+  std::printf("dataset: %s, block missing (%.1f%% of observations "
+              "withheld)\n\n",
+              task.dataset.name.c_str(),
+              100.0 * data::MaskRate(task.eval_mask) /
+                  data::MaskRate(task.dataset.observed_mask));
+
+  std::vector<std::unique_ptr<baselines::Imputer>> methods;
+  methods.push_back(std::make_unique<baselines::LinearInterpImputer>());
+  methods.push_back(std::make_unique<baselines::KnnImputer>());
+  methods.push_back(std::make_unique<baselines::KalmanImputer>());
+
+  core::PristiConfig config;
+  config.num_nodes = task.dataset.num_nodes;
+  config.window_len = task.window_len;
+  config.channels = 16;
+  config.heads = 2;
+  config.layers = 2;
+  config.virtual_nodes = 8;
+  config.diffusion_emb_dim = 32;
+  config.temporal_emb_dim = 32;
+  config.node_emb_dim = 8;
+  config.adaptive_rank = 6;
+  eval::DiffusionRunOptions options;
+  options.diffusion_steps = 30;
+  options.train.epochs = 25;
+  options.train.lr = 2e-3f;
+  options.train.mask_strategy = data::MaskStrategy::kHybrid;
+  options.impute.num_samples = 10;
+  methods.push_back(eval::MakePristiImputer(
+      config, task.dataset.graph.adjacency, options, rng));
+
+  std::printf("%10s %12s %12s %10s\n", "method", "MAE (mph)", "MSE",
+              "fit (s)");
+  for (auto& method : methods) {
+    Rng run_rng(44);
+    eval::MethodResult result =
+        eval::EvaluateImputer(method.get(), task, run_rng);
+    std::printf("%10s %12.3f %12.3f %10.1f\n", result.method.c_str(),
+                result.mae, result.mse, result.fit_seconds);
+  }
+  std::printf("\nBlock missing is where interpolation fails (nothing to "
+              "interpolate through a\nmulti-hour outage) and spatiotemporal "
+              "models shine — compare the MAE gaps to\nthe point-missing "
+              "column of the paper's Table III.\n");
+  return 0;
+}

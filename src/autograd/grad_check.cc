@@ -1,0 +1,66 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pristi::autograd {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Tensor> input_values, float epsilon, float atol, float rtol) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  std::vector<Variable> leaves;
+  leaves.reserve(input_values.size());
+  for (const Tensor& t : input_values) {
+    leaves.emplace_back(t, /*requires_grad=*/true);
+  }
+  Variable out = fn(leaves);
+  CHECK_EQ(out.value().numel(), 1) << "CheckGradients needs a scalar output";
+  out.Backward();
+
+  // Numeric pass, coordinate by coordinate.
+  for (size_t vi = 0; vi < input_values.size(); ++vi) {
+    const Tensor* analytic = nullptr;
+    Tensor zero_grad;
+    if (leaves[vi].has_grad()) {
+      analytic = &leaves[vi].grad();
+    } else {
+      zero_grad = Tensor::Zeros(input_values[vi].shape());
+      analytic = &zero_grad;
+    }
+    for (int64_t i = 0; i < input_values[vi].numel(); ++i) {
+      auto eval_at = [&](float delta) {
+        std::vector<Tensor> perturbed = input_values;
+        perturbed[vi][i] += delta;
+        std::vector<Variable> fresh;
+        fresh.reserve(perturbed.size());
+        for (const Tensor& t : perturbed) {
+          fresh.emplace_back(t, /*requires_grad=*/false);
+        }
+        return fn(fresh).value()[0];
+      };
+      float plus = eval_at(epsilon);
+      float minus = eval_at(-epsilon);
+      float numeric = (plus - minus) / (2.0f * epsilon);
+      float got = (*analytic)[i];
+      float err = std::fabs(got - numeric);
+      result.max_abs_error = std::max(result.max_abs_error, err);
+      if (err > atol + rtol * std::fabs(numeric)) {
+        result.ok = false;
+        if (result.message.empty()) {
+          std::ostringstream msg;
+          msg << "input " << vi << " coord " << i << ": analytic " << got
+              << " vs numeric " << numeric << " (err " << err << ")";
+          result.message = msg.str();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pristi::autograd

@@ -1,0 +1,35 @@
+#ifndef PRISTI_AUTOGRAD_GRAD_CHECK_H_
+#define PRISTI_AUTOGRAD_GRAD_CHECK_H_
+
+// Finite-difference gradient verification, used by the property-based tests
+// to certify every differentiable operator against central differences.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pristi::autograd {
+
+struct GradCheckResult {
+  bool ok = true;
+  // Largest |analytic - numeric| over all checked coordinates.
+  float max_abs_error = 0.0f;
+  // Human-readable description of the first failure (if any).
+  std::string message;
+};
+
+// Verifies d(scalar fn)/d(inputs) against central finite differences.
+//
+// `fn` must rebuild the graph from the given leaves on every call (the tape
+// is dynamic). Each input is perturbed coordinate-wise by +/- `epsilon`.
+// Tolerance is `atol + rtol * |numeric|` per coordinate.
+GradCheckResult CheckGradients(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Tensor> input_values, float epsilon = 1e-3f,
+    float atol = 2e-2f, float rtol = 5e-2f);
+
+}  // namespace pristi::autograd
+
+#endif  // PRISTI_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,123 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace pristi::autograd {
+
+namespace internal {
+
+void Node::AccumulateGrad(const Tensor& g) {
+  CHECK(tensor::ShapesEqual(g.shape(), value.shape()))
+      << "gradient shape " << tensor::ShapeToString(g.shape())
+      << " does not match value shape "
+      << tensor::ShapeToString(value.shape());
+  if (grad.numel() != value.numel()) {
+    grad = Tensor::Zeros(value.shape());
+  }
+  grad.AddInPlace(g);
+}
+
+}  // namespace internal
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<internal::Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  CHECK(defined()) << "value() on undefined Variable";
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  CHECK(defined());
+  CHECK(has_grad()) << "no gradient accumulated for this variable";
+  return node_->grad;
+}
+
+bool Variable::has_grad() const {
+  return defined() && node_->grad.numel() == node_->value.numel() &&
+         node_->value.numel() > 0;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  CHECK(defined());
+  if (has_grad()) node_->grad.ZeroOut();
+}
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents before
+// children in the returned vector; we replay it in reverse).
+std::vector<internal::Node*> TopologicalOrder(internal::Node* root) {
+  std::vector<internal::Node*> order;
+  std::unordered_set<internal::Node*> visited;
+  struct Frame {
+    internal::Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root).second) stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      internal::Node* parent = top.node->parents[top.next_parent].get();
+      ++top.next_parent;
+      if (parent != nullptr && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+void Variable::Backward() {
+  CHECK(defined());
+  CHECK_EQ(node_->value.numel(), 1)
+      << "Backward() requires a scalar output, got shape "
+      << tensor::ShapeToString(node_->value.shape());
+  node_->AccumulateGrad(Tensor::Full(node_->value.shape(), 1.0f));
+  std::vector<internal::Node*> order = TopologicalOrder(node_.get());
+  // `order` is post-order: parents precede children; replay from the end so
+  // each node's full gradient is available before its backward fires.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* node = *it;
+    if (node->backward && node->grad.numel() == node->value.numel()) {
+      node->backward(node->grad);
+    }
+  }
+}
+
+Variable Variable::Detach() const {
+  CHECK(defined());
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable Constant(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/false);
+}
+
+}  // namespace pristi::autograd

@@ -1,0 +1,89 @@
+#ifndef PRISTI_AUTOGRAD_VARIABLE_H_
+#define PRISTI_AUTOGRAD_VARIABLE_H_
+
+// Tape-based reverse-mode automatic differentiation.
+//
+// A `Variable` wraps a tensor value in a shared graph node. Operators in
+// ops.h build the computation graph eagerly; calling `Backward()` on a
+// scalar output propagates gradients to every reachable node that has
+// `requires_grad` set. Gradients accumulate across calls until `ZeroGrad()`.
+//
+// The graph is dynamic (rebuilt every forward pass) which matches how the
+// diffusion training loop works: each iteration samples a new diffusion step
+// and mask, so no two iterations share a graph.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pristi::autograd {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace internal {
+
+// One node of the autodiff tape.
+struct Node {
+  Tensor value;
+  // Lazily allocated on first accumulation; empty until then.
+  Tensor grad;
+  bool requires_grad = false;
+  // Parents retained both for topological ordering and lifetime.
+  std::vector<std::shared_ptr<Node>> parents;
+  // Accumulates `grad_out` (same shape as `value`) into the parents' grads.
+  // Null for leaves.
+  std::function<void(const Tensor& grad_out)> backward;
+
+  // Adds `g` into this node's gradient buffer (allocating if needed).
+  void AccumulateGrad(const Tensor& g);
+};
+
+}  // namespace internal
+
+class Variable {
+ public:
+  // A null variable; `defined()` is false.
+  Variable() = default;
+
+  // Wraps `value` as a leaf.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  // Mutable access for optimizer updates; only meaningful on leaves.
+  Tensor& mutable_value();
+  // The accumulated gradient; CHECK-fails if none was ever accumulated.
+  const Tensor& grad() const;
+  bool has_grad() const;
+  bool requires_grad() const;
+
+  const Shape& shape() const { return value().shape(); }
+  int64_t numel() const { return value().numel(); }
+
+  void ZeroGrad();
+
+  // Reverse-mode sweep from this (scalar) output. Seeds d(out)/d(out) = 1,
+  // visits the graph in reverse topological order.
+  void Backward();
+
+  // A new leaf sharing this variable's current value but cut from the tape.
+  Variable Detach() const;
+
+  std::shared_ptr<internal::Node> node() const { return node_; }
+
+  // Used by ops.cc to construct interior nodes.
+  static Variable FromNode(std::shared_ptr<internal::Node> node);
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+// Convenience: a constant (non-differentiable) variable.
+Variable Constant(Tensor value);
+
+}  // namespace pristi::autograd
+
+#endif  // PRISTI_AUTOGRAD_VARIABLE_H_

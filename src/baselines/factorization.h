@@ -1,0 +1,58 @@
+#ifndef PRISTI_BASELINES_FACTORIZATION_H_
+#define PRISTI_BASELINES_FACTORIZATION_H_
+
+// Low-rank matrix/tensor factorization baselines: TRMF (temporal-regularized
+// matrix factorization, Yu et al.) and a bias-augmented variant standing in
+// for BATF (Chen et al.). Both are transductive: each window is factorized
+// on its own observed entries via masked ALS and the missing entries are
+// reconstructed from the factors.
+
+#include "baselines/imputer.h"
+
+namespace pristi::baselines {
+
+struct FactorizationOptions {
+  int64_t rank = 6;
+  int64_t iterations = 25;
+  double ridge = 0.1;
+  // Temporal-smoothness regularization strength on the time factors (the
+  // "TR" of TRMF); 0 disables it.
+  double temporal_reg = 1.0;
+};
+
+// X ~= W F with masked ALS and an AR(1)-style penalty ||f_t - f_{t-1}||^2.
+class TrmfImputer : public Imputer {
+ public:
+  explicit TrmfImputer(FactorizationOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "TRMF"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+
+  // Masked factorization of one (N, L) matrix; exposed for testing.
+  static Tensor FactorizeWindow(const Tensor& values, const Tensor& mask,
+                                const FactorizationOptions& options, Rng& rng);
+
+ private:
+  FactorizationOptions options_;
+};
+
+// BATF-lite: X ~= mu + a_i + b_t + low-rank residual; the bias terms encode
+// the "domain knowledge" (node level, time-of-window profile) of BATF.
+class BatfImputer : public Imputer {
+ public:
+  explicit BatfImputer(FactorizationOptions options = {})
+      : options_(options) {
+    options_.temporal_reg = 0.0;  // biases already capture smooth structure
+  }
+  std::string name() const override { return "BATF"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+
+ private:
+  FactorizationOptions options_;
+};
+
+}  // namespace pristi::baselines
+
+#endif  // PRISTI_BASELINES_FACTORIZATION_H_

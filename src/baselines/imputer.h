@@ -1,0 +1,47 @@
+#ifndef PRISTI_BASELINES_IMPUTER_H_
+#define PRISTI_BASELINES_IMPUTER_H_
+
+// Common interface for every imputation method in the benchmark suite
+// (Table III): statistics, classic ML, matrix factorization, RNN-based deep
+// models and (via the eval-layer adapter) the diffusion models.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/windows.h"
+#include "tensor/tensor.h"
+
+namespace pristi::baselines {
+
+using tensor::Tensor;
+
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+
+  virtual std::string name() const = 0;
+
+  // Fits on the task's training range. Only `model_observed_mask` entries
+  // are visible; withheld (eval) entries must never be read.
+  virtual void Fit(const data::ImputationTask& task, Rng& rng) = 0;
+
+  // Deterministic imputation of one normalized window: returns (N, L) with
+  // an estimate at every entry (observed entries may be passed through).
+  virtual Tensor Impute(const data::Sample& sample, Rng& rng) = 0;
+
+  // Probabilistic imputation; the default wraps the deterministic output
+  // (a point mass), which is the correct degenerate distribution for
+  // deterministic methods when computing CRPS.
+  virtual std::vector<Tensor> ImputeSamples(const data::Sample& sample,
+                                            int64_t num_samples, Rng& rng) {
+    std::vector<Tensor> out;
+    Tensor point = Impute(sample, rng);
+    out.assign(static_cast<size_t>(num_samples), point);
+    return out;
+  }
+};
+
+}  // namespace pristi::baselines
+
+#endif  // PRISTI_BASELINES_IMPUTER_H_

@@ -1,0 +1,36 @@
+#ifndef PRISTI_BASELINES_KALMAN_H_
+#define PRISTI_BASELINES_KALMAN_H_
+
+// KF baseline: a per-node local-level (random walk + observation noise)
+// Kalman RTS smoother over each window, skipping the update step at missing
+// observations. Matches the role of the filterpy-based baseline in the
+// paper: temporal-only, no spatial information.
+
+#include "baselines/imputer.h"
+
+namespace pristi::baselines {
+
+class KalmanImputer : public Imputer {
+ public:
+  // `process_var` (q) and `obs_var` (r) are in normalized units; the default
+  // ratio favours smoothness, which is what a local-level model should do.
+  KalmanImputer(double process_var = 0.05, double obs_var = 0.5)
+      : process_var_(process_var), obs_var_(obs_var) {}
+
+  std::string name() const override { return "KF"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+
+  // Smooths a single series with a missing mask; exposed for testing.
+  static std::vector<float> SmoothSeries(const std::vector<float>& values,
+                                         const std::vector<bool>& observed,
+                                         double process_var, double obs_var);
+
+ private:
+  double process_var_;
+  double obs_var_;
+};
+
+}  // namespace pristi::baselines
+
+#endif  // PRISTI_BASELINES_KALMAN_H_

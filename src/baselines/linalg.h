@@ -1,0 +1,27 @@
+#ifndef PRISTI_BASELINES_LINALG_H_
+#define PRISTI_BASELINES_LINALG_H_
+
+// Small dense linear-algebra helpers for the classic-ML baselines (ridge
+// regression systems for VAR/MICE, ALS updates for TRMF/BATF). Sizes are at
+// most a few hundred, so a straightforward Cholesky is plenty.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pristi::baselines {
+
+using tensor::Tensor;
+
+// Solves A x = b for symmetric positive-definite A (n x n, row-major).
+// CHECK-fails if A is not positive definite (add ridge before calling).
+std::vector<double> SolveSpd(std::vector<double> a, std::vector<double> b,
+                             int64_t n);
+
+// Ridge regression W = argmin ||X W - Y||^2 + lambda ||W||^2.
+// X: (rows, features), Y: (rows, targets) -> W: (features, targets).
+Tensor RidgeFit(const Tensor& x, const Tensor& y, double lambda);
+
+}  // namespace pristi::baselines
+
+#endif  // PRISTI_BASELINES_LINALG_H_

@@ -1,0 +1,49 @@
+#ifndef PRISTI_BASELINES_REGRESSION_H_
+#define PRISTI_BASELINES_REGRESSION_H_
+
+// Classic machine-learning baselines: VAR(1) (vector autoregressive
+// single-step predictor) and MICE (multiple imputation by chained
+// equations, ridge-regularized).
+
+#include "baselines/imputer.h"
+
+namespace pristi::baselines {
+
+// VAR: x_{t+1} = W [x_t; 1], fitted by ridge regression on the (linearly
+// interpolation-completed) training range. Imputation runs the one-step
+// predictor forward through the window, feeding estimates back in at
+// missing positions.
+class VarImputer : public Imputer {
+ public:
+  explicit VarImputer(double ridge = 1.0) : ridge_(ridge) {}
+  std::string name() const override { return "VAR"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+
+ private:
+  double ridge_;
+  Tensor weights_;  // (N+1, N), last row = intercept
+};
+
+// MICE: per-node ridge regressions on all other nodes at the same step,
+// fitted on the completed training range; imputation initializes missing
+// entries by interpolation and applies the chained equations for a few
+// rounds.
+class MiceImputer : public Imputer {
+ public:
+  MiceImputer(double ridge = 1.0, int64_t rounds = 3)
+      : ridge_(ridge), rounds_(rounds) {}
+  std::string name() const override { return "MICE"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+
+ private:
+  double ridge_;
+  int64_t rounds_;
+  Tensor weights_;  // (N, N): row i = coefficients predicting node i
+  Tensor intercepts_;  // (N,)
+};
+
+}  // namespace pristi::baselines
+
+#endif  // PRISTI_BASELINES_REGRESSION_H_

@@ -1,0 +1,475 @@
+#include "baselines/rnn.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "graph/adjacency.h"
+#include "nn/optimizer.h"
+
+namespace pristi::baselines {
+
+namespace ag = ::pristi::autograd;
+namespace t = ::pristi::tensor;
+
+namespace {
+
+// Stacks per-sample (N, L) windows into (B, N, L) constants.
+Tensor StackWindows(const std::vector<const data::Sample*>& samples,
+                    bool values) {
+  int64_t b = static_cast<int64_t>(samples.size());
+  int64_t n = samples[0]->values.dim(0), l = samples[0]->values.dim(1);
+  Tensor out({b, n, l});
+  for (int64_t i = 0; i < b; ++i) {
+    const Tensor& src = values ? samples[i]->values : samples[i]->observed;
+    std::copy(src.data(), src.data() + n * l, out.data() + i * n * l);
+  }
+  return out;
+}
+
+// Randomly hides `rate` of the 1-entries of `mask` (training-time extra
+// masking so the recurrent nets learn to bridge holes).
+Tensor DropFromMask(const Tensor& mask, double rate, Rng& rng) {
+  Tensor out = mask;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] > 0.5f && rng.Bernoulli(rate)) out[i] = 0.0f;
+  }
+  return out;
+}
+
+// (B, N, L) -> per-step (B, N) constant slice.
+Tensor StepSlice(const Tensor& x, int64_t step) {
+  int64_t b = x.dim(0), n = x.dim(1), l = x.dim(2);
+  Tensor out({b, n});
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t node = 0; node < n; ++node) {
+      out.at({bi, node}) = x.at({bi, node, step * 1});
+    }
+  }
+  (void)l;
+  return out;
+}
+
+// Stacks per-step (B, N) predictions into (B, N, L) along the last axis.
+Variable StackSteps(const std::vector<Variable>& steps) {
+  std::vector<Variable> reshaped;
+  reshaped.reserve(steps.size());
+  for (const Variable& s : steps) {
+    int64_t b = s.value().dim(0), n = s.value().dim(1);
+    reshaped.push_back(ag::Reshape(s, {b, n, 1}));
+  }
+  return ag::Concat(reshaped, -1);
+}
+
+// Masked mse between a prediction variable and constant targets.
+Variable MaskedLoss(const Variable& pred, const Tensor& target,
+                    const Tensor& mask) {
+  return ag::MaskedMse(pred, t::Mul(target, mask), mask);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RecurrentDirection
+// ---------------------------------------------------------------------------
+
+RecurrentDirection::RecurrentDirection(int64_t num_nodes, int64_t hidden,
+                                       Rng& rng)
+    : num_nodes_(num_nodes), cell_(2 * num_nodes, hidden, rng),
+      head_(hidden, num_nodes, rng) {
+  AddChild("cell", &cell_);
+  AddChild("head", &head_);
+}
+
+Variable RecurrentDirection::Run(const Tensor& values,
+                                 const Tensor& input_mask,
+                                 bool reversed) const {
+  int64_t b = values.dim(0), l = values.dim(2);
+  CHECK_EQ(values.dim(1), num_nodes_);
+  Variable h = cell_.InitialState(b);
+  std::vector<Variable> preds(static_cast<size_t>(l));
+  for (int64_t idx = 0; idx < l; ++idx) {
+    int64_t step = reversed ? l - 1 - idx : idx;
+    // Predict this step from history.
+    Variable pred = head_.Forward(h);  // (B, N)
+    preds[static_cast<size_t>(step)] = pred;
+    // Feed back: observation where present, prediction elsewhere.
+    Tensor x_t = StepSlice(values, step);
+    Tensor m_t = StepSlice(input_mask, step);
+    Variable filled = ag::Add(
+        ag::Constant(t::Mul(x_t, m_t)),
+        ag::Mul(pred, ag::Constant(t::AddScalar(t::Neg(m_t), 1.0f))));
+    Variable input = ag::Concat({filled, ag::Constant(m_t)}, -1);
+    h = cell_.Forward(input, h);
+  }
+  return StackSteps(preds);
+}
+
+// ---------------------------------------------------------------------------
+// BRITS-like
+// ---------------------------------------------------------------------------
+
+struct BritsImputer::Net : public nn::Module {
+  Net(int64_t num_nodes, int64_t hidden, Rng& rng)
+      : fwd(num_nodes, hidden, rng), bwd(num_nodes, hidden, rng) {
+    AddChild("fwd", &fwd);
+    AddChild("bwd", &bwd);
+  }
+  // Returns {fwd_pred, bwd_pred}, each (B, N, L).
+  std::pair<Variable, Variable> Run(const Tensor& values,
+                                    const Tensor& input_mask) const {
+    return {fwd.Run(values, input_mask, /*reversed=*/false),
+            bwd.Run(values, input_mask, /*reversed=*/true)};
+  }
+  RecurrentDirection fwd;
+  RecurrentDirection bwd;
+};
+
+BritsImputer::BritsImputer(int64_t num_nodes, RecurrentOptions options,
+                           Rng& rng)
+    : options_(options),
+      net_(std::make_shared<Net>(num_nodes, options.hidden, rng)) {
+  module_ = net_;
+}
+
+void BritsImputer::Fit(const data::ImputationTask& task, Rng& rng) {
+  std::vector<data::Sample> samples = data::ExtractSamples(task, "train");
+  CHECK(!samples.empty());
+  nn::Adam optimizer(net_->Parameters(), {.lr = options_.lr});
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<int64_t> order =
+        rng.Permutation(static_cast<int64_t>(samples.size()));
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(options_.batch_size)) {
+      size_t end = std::min(order.size(),
+                            begin + static_cast<size_t>(options_.batch_size));
+      std::vector<const data::Sample*> batch;
+      for (size_t i = begin; i < end; ++i) {
+        batch.push_back(&samples[static_cast<size_t>(order[i])]);
+      }
+      Tensor values = StackWindows(batch, /*values=*/true);
+      Tensor observed = StackWindows(batch, /*values=*/false);
+      Tensor input_mask =
+          DropFromMask(observed, options_.extra_mask_rate, rng);
+      net_->ZeroGrad();
+      auto [pred_f, pred_b] = net_->Run(values, input_mask);
+      // Reconstruction on every observed entry + consistency between the
+      // two directions.
+      Variable loss = ag::Add(MaskedLoss(pred_f, values, observed),
+                              MaskedLoss(pred_b, values, observed));
+      loss = ag::Add(loss,
+                     ag::MulScalar(ag::MeanAll(ag::Square(
+                                       ag::Sub(pred_f, pred_b))),
+                                   options_.consistency_weight));
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+Tensor BritsImputer::Impute(const data::Sample& sample, Rng&) {
+  std::vector<const data::Sample*> batch = {&sample};
+  Tensor values = StackWindows(batch, /*values=*/true);
+  Tensor observed = StackWindows(batch, /*values=*/false);
+  auto [pred_f, pred_b] = net_->Run(values, observed);
+  Tensor mean = t::MulScalar(
+      t::Add(pred_f.value(), pred_b.value()), 0.5f);
+  int64_t n = sample.values.dim(0), l = sample.values.dim(1);
+  Tensor out = sample.values;
+  for (int64_t node = 0; node < n; ++node) {
+    for (int64_t step = 0; step < l; ++step) {
+      if (sample.observed.at({node, step}) < 0.5f) {
+        out.at({node, step}) = mean.at({0, node, step});
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GRIN-like
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One direction of the node-wise graph recurrent imputer.
+class GraphDirection : public nn::Module {
+ public:
+  GraphDirection(int64_t num_nodes, int64_t hidden, Tensor transition,
+                 Rng& rng)
+      : num_nodes_(num_nodes),
+        hidden_(hidden),
+        transition_(ag::Constant(std::move(transition))),
+        cell_(3, hidden, rng),
+        head_self_(hidden, 1, rng),
+        head_spatial_(2 * hidden, 1, rng) {
+    AddChild("cell", &cell_);
+    AddChild("head_self", &head_self_);
+    AddChild("head_spatial", &head_spatial_);
+  }
+
+  // Returns {first_stage, second_stage} predictions, each (B, N, L).
+  std::pair<Variable, Variable> Run(const Tensor& values,
+                                    const Tensor& input_mask,
+                                    bool reversed) const {
+    int64_t b = values.dim(0), n = values.dim(1), l = values.dim(2);
+    CHECK_EQ(n, num_nodes_);
+    // Node-wise hidden state: (B*N, hidden) -> view (B, N, hidden).
+    Variable h = cell_.InitialState(b * n);
+    std::vector<Variable> stage1(static_cast<size_t>(l));
+    std::vector<Variable> stage2(static_cast<size_t>(l));
+    for (int64_t idx = 0; idx < l; ++idx) {
+      int64_t step = reversed ? l - 1 - idx : idx;
+      // First stage: per-node prediction from its own hidden state.
+      Variable y1 = head_self_.Forward(h);  // (B*N, 1)
+      // Second stage: add spatially aggregated hidden states.
+      Variable h3 = ag::Reshape(h, {b, n, hidden_});
+      Variable h_nbr = ag::MatMulNodeDim(transition_, h3);
+      Variable y2 = head_spatial_.Forward(
+          ag::Concat({h3, h_nbr}, -1));  // (B, N, 1)
+      Variable y1_bn = ag::Reshape(y1, {b, n});
+      Variable y2_bn = ag::Reshape(y2, {b, n});
+      stage1[static_cast<size_t>(step)] = y1_bn;
+      stage2[static_cast<size_t>(step)] = y2_bn;
+      // Feed back second-stage predictions at missing inputs.
+      Tensor x_t = StepSlice(values, step);
+      Tensor m_t = StepSlice(input_mask, step);
+      Variable filled = ag::Add(
+          ag::Constant(t::Mul(x_t, m_t)),
+          ag::Mul(y2_bn, ag::Constant(t::AddScalar(t::Neg(m_t), 1.0f))));
+      // Spatial input feature: neighbour average of the filled values.
+      Variable filled3 = ag::Reshape(filled, {b, n, 1});
+      Variable x_nbr = ag::MatMulNodeDim(transition_, filled3);
+      Variable mask3 = ag::Constant(m_t.Reshaped({b, n, 1}));
+      Variable input = ag::Reshape(
+          ag::Concat({filled3, mask3, x_nbr}, -1), {b * n, 3});
+      h = cell_.Forward(input, h);
+    }
+    return {StackSteps(stage1), StackSteps(stage2)};
+  }
+
+ private:
+  int64_t num_nodes_;
+  int64_t hidden_;
+  Variable transition_;
+  nn::GruCell cell_;
+  nn::Linear head_self_;
+  nn::Linear head_spatial_;
+};
+
+}  // namespace
+
+struct GrinImputer::Net : public nn::Module {
+  Net(int64_t num_nodes, int64_t hidden, const Tensor& adjacency, Rng& rng)
+      : fwd(num_nodes, hidden, graph::TransitionMatrix(adjacency), rng),
+        bwd(num_nodes, hidden, graph::TransitionMatrix(adjacency), rng) {
+    AddChild("fwd", &fwd);
+    AddChild("bwd", &bwd);
+  }
+  GraphDirection fwd;
+  GraphDirection bwd;
+};
+
+GrinImputer::GrinImputer(int64_t num_nodes, const Tensor& adjacency,
+                         RecurrentOptions options, Rng& rng)
+    : options_(options),
+      net_(std::make_shared<Net>(num_nodes, options.hidden, adjacency, rng)) {}
+
+void GrinImputer::Fit(const data::ImputationTask& task, Rng& rng) {
+  std::vector<data::Sample> samples = data::ExtractSamples(task, "train");
+  CHECK(!samples.empty());
+  nn::Adam optimizer(net_->Parameters(), {.lr = options_.lr});
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<int64_t> order =
+        rng.Permutation(static_cast<int64_t>(samples.size()));
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(options_.batch_size)) {
+      size_t end = std::min(order.size(),
+                            begin + static_cast<size_t>(options_.batch_size));
+      std::vector<const data::Sample*> batch;
+      for (size_t i = begin; i < end; ++i) {
+        batch.push_back(&samples[static_cast<size_t>(order[i])]);
+      }
+      Tensor values = StackWindows(batch, /*values=*/true);
+      Tensor observed = StackWindows(batch, /*values=*/false);
+      Tensor input_mask =
+          DropFromMask(observed, options_.extra_mask_rate, rng);
+      net_->ZeroGrad();
+      auto [f1, f2] = net_->fwd.Run(values, input_mask, /*reversed=*/false);
+      auto [b1, b2] = net_->bwd.Run(values, input_mask, /*reversed=*/true);
+      // Both stages and both directions are supervised (as in GRIN).
+      Variable loss = ag::Add(
+          ag::Add(MaskedLoss(f1, values, observed),
+                  MaskedLoss(f2, values, observed)),
+          ag::Add(MaskedLoss(b1, values, observed),
+                  MaskedLoss(b2, values, observed)));
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+Tensor GrinImputer::Impute(const data::Sample& sample, Rng&) {
+  std::vector<const data::Sample*> batch = {&sample};
+  Tensor values = StackWindows(batch, /*values=*/true);
+  Tensor observed = StackWindows(batch, /*values=*/false);
+  auto [f1, f2] = net_->fwd.Run(values, observed, /*reversed=*/false);
+  auto [b1, b2] = net_->bwd.Run(values, observed, /*reversed=*/true);
+  (void)f1;
+  (void)b1;
+  Tensor mean = t::MulScalar(t::Add(f2.value(), b2.value()), 0.5f);
+  int64_t n = sample.values.dim(0), l = sample.values.dim(1);
+  Tensor out = sample.values;
+  for (int64_t node = 0; node < n; ++node) {
+    for (int64_t step = 0; step < l; ++step) {
+      if (sample.observed.at({node, step}) < 0.5f) {
+        out.at({node, step}) = mean.at({0, node, step});
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// rGAIN-lite
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-entry discriminator: [value, hint] -> P(entry was observed).
+class EntryDiscriminator : public nn::Module {
+ public:
+  EntryDiscriminator(int64_t hidden, Rng& rng)
+      : fc1_(2, hidden, rng), fc2_(hidden, 1, rng) {
+    AddChild("fc1", &fc1_);
+    AddChild("fc2", &fc2_);
+  }
+  // imputed, hint: (B, N, L) -> probabilities (B, N, L).
+  Variable Forward(const Variable& imputed, const Tensor& hint) const {
+    const t::Shape& s = imputed.value().shape();
+    Variable channels = ag::Concat(
+        {ag::Reshape(imputed, {s[0], s[1], s[2], 1}),
+         ag::Constant(hint.Reshaped({s[0], s[1], s[2], 1}))},
+        -1);
+    Variable p = ag::Sigmoid(
+        fc2_.Forward(ag::Relu(fc1_.Forward(channels))));
+    return ag::Reshape(p, {s[0], s[1], s[2]});
+  }
+
+ private:
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+};
+
+// Numerically clamped binary cross entropy against constant labels,
+// restricted to `weight_mask` entries.
+Variable MaskedBce(const Variable& prob, const Tensor& labels,
+                   const Tensor& weight_mask) {
+  Variable p = ag::AddScalar(ag::MulScalar(prob, 0.998f), 0.001f);
+  Variable pos = ag::Mul(ag::Log(p), ag::Constant(labels));
+  Variable neg = ag::Mul(ag::Log(ag::AddScalar(ag::Neg(p), 1.0f)),
+                         ag::Constant(t::AddScalar(t::Neg(labels), 1.0f)));
+  Variable nll = ag::Neg(ag::Add(pos, neg));
+  float denom = std::max(1.0f, t::SumAll(weight_mask));
+  return ag::MulScalar(ag::SumAll(ag::Mul(nll, ag::Constant(weight_mask))),
+                       1.0f / denom);
+}
+
+}  // namespace
+
+struct RgainImputer::Net : public nn::Module {
+  Net(int64_t num_nodes, int64_t hidden, Rng& rng)
+      : fwd(num_nodes, hidden, rng),
+        bwd(num_nodes, hidden, rng),
+        disc(hidden, rng) {
+    AddChild("fwd", &fwd);
+    AddChild("bwd", &bwd);
+    AddChild("disc", &disc);
+  }
+  // Generator output: average of the two directions, observations passed
+  // through, (B, N, L).
+  Variable Generate(const Tensor& values, const Tensor& input_mask) const {
+    Variable mean = ag::MulScalar(
+        ag::Add(fwd.Run(values, input_mask, false),
+                bwd.Run(values, input_mask, true)),
+        0.5f);
+    // imputed = m * x + (1 - m) * pred
+    return ag::Add(
+        ag::Constant(t::Mul(values, input_mask)),
+        ag::Mul(mean, ag::Constant(t::AddScalar(t::Neg(input_mask), 1.0f))));
+  }
+  RecurrentDirection fwd;
+  RecurrentDirection bwd;
+  EntryDiscriminator disc;
+};
+
+RgainImputer::RgainImputer(int64_t num_nodes, RecurrentOptions options,
+                           Rng& rng)
+    : options_(options),
+      net_(std::make_shared<Net>(num_nodes, options.hidden, rng)) {}
+
+void RgainImputer::Fit(const data::ImputationTask& task, Rng& rng) {
+  std::vector<data::Sample> samples = data::ExtractSamples(task, "train");
+  CHECK(!samples.empty());
+  nn::Adam gen_opt(net_->fwd.Parameters(), {.lr = options_.lr});
+  nn::Adam gen_opt_b(net_->bwd.Parameters(), {.lr = options_.lr});
+  nn::Adam disc_opt(net_->disc.Parameters(), {.lr = options_.lr});
+  const float kAdvWeight = 0.1f;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<int64_t> order =
+        rng.Permutation(static_cast<int64_t>(samples.size()));
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(options_.batch_size)) {
+      size_t end = std::min(order.size(),
+                            begin + static_cast<size_t>(options_.batch_size));
+      std::vector<const data::Sample*> batch;
+      for (size_t i = begin; i < end; ++i) {
+        batch.push_back(&samples[static_cast<size_t>(order[i])]);
+      }
+      Tensor values = StackWindows(batch, /*values=*/true);
+      Tensor observed = StackWindows(batch, /*values=*/false);
+      Tensor input_mask =
+          DropFromMask(observed, options_.extra_mask_rate, rng);
+      // GAIN hint: reveal the true mask at 90% of entries, 0.5 elsewhere.
+      Tensor hint = input_mask;
+      for (int64_t i = 0; i < hint.numel(); ++i) {
+        if (!rng.Bernoulli(0.9)) hint[i] = 0.5f;
+      }
+      Tensor ones = Tensor::Ones(values.shape());
+
+      // --- Discriminator step (generator detached).
+      net_->ZeroGrad();
+      Variable imputed_detached =
+          net_->Generate(values, input_mask).Detach();
+      Variable d_prob = net_->disc.Forward(imputed_detached, hint);
+      Variable d_loss = MaskedBce(d_prob, input_mask, ones);
+      d_loss.Backward();
+      disc_opt.Step();
+
+      // --- Generator step: reconstruction + fooling the discriminator on
+      // the imputed entries.
+      net_->ZeroGrad();
+      Variable imputed = net_->Generate(values, input_mask);
+      Variable g_prob = net_->disc.Forward(imputed, hint);
+      Tensor missing_mask = t::AddScalar(t::Neg(input_mask), 1.0f);
+      Variable adv = MaskedBce(g_prob, ones, missing_mask);
+      Variable recon = ag::MaskedMse(imputed, t::Mul(values, observed),
+                                     observed);
+      Variable g_loss = ag::Add(recon, ag::MulScalar(adv, kAdvWeight));
+      g_loss.Backward();
+      gen_opt.Step();
+      gen_opt_b.Step();
+      net_->disc.ZeroGrad();  // discard leaked discriminator grads
+    }
+  }
+}
+
+Tensor RgainImputer::Impute(const data::Sample& sample, Rng&) {
+  std::vector<const data::Sample*> batch = {&sample};
+  Tensor values = StackWindows(batch, /*values=*/true);
+  Tensor observed = StackWindows(batch, /*values=*/false);
+  Tensor imputed = net_->Generate(values, observed).value();
+  return imputed.Reshaped(sample.values.shape());
+}
+
+}  // namespace pristi::baselines

@@ -1,0 +1,65 @@
+#ifndef PRISTI_BASELINES_SIMPLE_H_
+#define PRISTI_BASELINES_SIMPLE_H_
+
+// Statistic baselines from Table III: MEAN, DA (daily average), KNN
+// (geographic nearest neighbours) and Lin-ITP (per-node linear
+// interpolation).
+
+#include <vector>
+
+#include "baselines/imputer.h"
+
+namespace pristi::baselines {
+
+// MEAN: each node's historical average over the training range.
+class MeanImputer : public Imputer {
+ public:
+  std::string name() const override { return "MEAN"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+
+ private:
+  std::vector<float> node_means_;
+};
+
+// DA: the average of each (node, time-of-day) cell over the training range.
+class DailyAverageImputer : public Imputer {
+ public:
+  std::string name() const override { return "DA"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+
+ private:
+  int64_t steps_per_day_ = 0;
+  // (steps_per_day, N) profile; falls back to the node mean for empty cells.
+  Tensor profile_;
+  std::vector<float> node_means_;
+};
+
+// KNN: distance-weighted average of the k geographically nearest nodes'
+// values at the same time step.
+class KnnImputer : public Imputer {
+ public:
+  explicit KnnImputer(int64_t k = 5) : k_(k) {}
+  std::string name() const override { return "KNN"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+
+ private:
+  int64_t k_;
+  // Per node: (neighbour index, kernel weight), strongest first.
+  std::vector<std::vector<std::pair<int64_t, float>>> neighbours_;
+  std::vector<float> node_means_;
+};
+
+// Lin-ITP: linear interpolation along each node's time series.
+class LinearInterpImputer : public Imputer {
+ public:
+  std::string name() const override { return "Lin-ITP"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+};
+
+}  // namespace pristi::baselines
+
+#endif  // PRISTI_BASELINES_SIMPLE_H_

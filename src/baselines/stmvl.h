@@ -1,0 +1,41 @@
+#ifndef PRISTI_BASELINES_STMVL_H_
+#define PRISTI_BASELINES_STMVL_H_
+
+// ST-MVL-lite (Yi et al., IJCAI 2016): the classic multi-view geo-sensory
+// imputation method whose evaluation protocol the paper adopts for AQI-36.
+// Four views are blended by weights fitted on observed data:
+//   * IDW  — inverse-distance-weighted spatial average at the same step;
+//   * SES  — exponential smoothing from temporally nearby observations,
+//            forward and backward;
+//   * node mean (global fallback view).
+// The blend weights are fitted by ridge regression on training entries
+// (ST-MVL's "multi-view learning" step, reduced to its linear core).
+
+#include "baselines/imputer.h"
+
+namespace pristi::baselines {
+
+class StmvlImputer : public Imputer {
+ public:
+  StmvlImputer(double idw_power = 2.0, double ses_decay = 0.6)
+      : idw_power_(idw_power), ses_decay_(ses_decay) {}
+
+  std::string name() const override { return "ST-MVL"; }
+  void Fit(const data::ImputationTask& task, Rng& rng) override;
+  Tensor Impute(const data::Sample& sample, Rng& rng) override;
+
+ private:
+  // View features for entry (node, step) of a window: {idw, ses, 1}.
+  // Returns false when no view has support (fully isolated entry).
+  bool ViewFeatures(const data::Sample& sample, const Tensor& inv_dist,
+                    int64_t node, int64_t step, float* idw, float* ses) const;
+
+  double idw_power_;
+  double ses_decay_;
+  Tensor inv_dist_;   // (N, N) inverse-distance weights, zero diagonal
+  Tensor weights_;    // (3, 1): blend of {idw, ses, bias}
+};
+
+}  // namespace pristi::baselines
+
+#endif  // PRISTI_BASELINES_STMVL_H_

@@ -1,0 +1,33 @@
+#ifndef PRISTI_COMMON_ENV_H_
+#define PRISTI_COMMON_ENV_H_
+
+// Environment-variable knobs shared by the bench harness. Benches default to
+// CI-friendly reduced scale; set PRISTI_SCALE=full for paper-scale shapes.
+
+#include <cstdlib>
+#include <string>
+
+namespace pristi {
+
+inline std::string GetEnvOr(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::string(value) : fallback;
+}
+
+inline int64_t GetEnvIntOr(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+// True when the caller asked for paper-scale experiment shapes.
+inline bool FullScaleRequested() {
+  return GetEnvOr("PRISTI_SCALE", "quick") == "full";
+}
+
+}  // namespace pristi
+
+#endif  // PRISTI_COMMON_ENV_H_

@@ -1,0 +1,74 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace pristi {
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& key) const {
+  queried_[key] = true;
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  return it != values_.end() ? it->second : fallback;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  return end != it->second.c_str() ? static_cast<int64_t>(parsed) : fallback;
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(it->second.c_str(), &end);
+  return end != it->second.c_str() ? parsed : fallback;
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> Flags::UnqueriedKeys() const {
+  std::vector<std::string> unqueried;
+  for (const auto& [key, value] : values_) {
+    if (!queried_.count(key)) unqueried.push_back(key);
+  }
+  return unqueried;
+}
+
+}  // namespace pristi

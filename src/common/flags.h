@@ -1,0 +1,40 @@
+#ifndef PRISTI_COMMON_FLAGS_H_
+#define PRISTI_COMMON_FLAGS_H_
+
+// Minimal --key=value command-line parsing for the CLI tool and benches.
+// Not a general-purpose flags library: no registration, no help generation —
+// callers query typed getters with defaults and can list unknown keys.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pristi {
+
+class Flags {
+ public:
+  // Parses argv: "--key=value" and "--key value" set key; "--key" alone sets
+  // it to "true"; everything else is a positional argument.
+  static Flags Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  // Keys that were set but never queried; useful for typo detection.
+  std::vector<std::string> UnqueriedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pristi
+
+#endif  // PRISTI_COMMON_FLAGS_H_

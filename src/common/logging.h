@@ -1,0 +1,114 @@
+#ifndef PRISTI_COMMON_LOGGING_H_
+#define PRISTI_COMMON_LOGGING_H_
+
+// Lightweight logging and assertion macros in the spirit of glog.
+//
+// CHECK-family macros abort on programmer error (invariant violation);
+// they stay enabled in release builds because this library is used as a
+// numerical substrate where silent shape/index corruption is far more
+// expensive than the branch.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pristi {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+namespace internal_logging {
+
+// Accumulates a message and emits it (and possibly aborts) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity) {
+    stream_ << SeverityTag(severity) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (severity_ == LogSeverity::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* SeverityTag(LogSeverity severity) {
+    switch (severity) {
+      case LogSeverity::kInfo:
+        return "[I";
+      case LogSeverity::kWarning:
+        return "[W";
+      case LogSeverity::kError:
+        return "[E";
+      case LogSeverity::kFatal:
+        return "[F";
+    }
+    return "[?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a conditional log is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+}  // namespace pristi
+
+#define PRISTI_LOG_INFO                                                     \
+  ::pristi::internal_logging::LogMessage(::pristi::LogSeverity::kInfo,      \
+                                         __FILE__, __LINE__)                \
+      .stream()
+#define PRISTI_LOG_WARNING                                                  \
+  ::pristi::internal_logging::LogMessage(::pristi::LogSeverity::kWarning,   \
+                                         __FILE__, __LINE__)                \
+      .stream()
+#define PRISTI_LOG_FATAL                                                    \
+  ::pristi::internal_logging::LogMessage(::pristi::LogSeverity::kFatal,     \
+                                         __FILE__, __LINE__)                \
+      .stream()
+
+#define CHECK(condition)                                              \
+  if (!(condition))                                                   \
+  PRISTI_LOG_FATAL << "Check failed: " #condition " "
+
+#define CHECK_OP(op, a, b)                                                \
+  if (!((a)op(b)))                                                        \
+  PRISTI_LOG_FATAL << "Check failed: " #a " " #op " " #b " (" << (a)      \
+                   << " vs " << (b) << ") "
+
+#define CHECK_EQ(a, b) CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) CHECK_OP(!=, a, b)
+#define CHECK_LT(a, b) CHECK_OP(<, a, b)
+#define CHECK_LE(a, b) CHECK_OP(<=, a, b)
+#define CHECK_GT(a, b) CHECK_OP(>, a, b)
+#define CHECK_GE(a, b) CHECK_OP(>=, a, b)
+
+#endif  // PRISTI_COMMON_LOGGING_H_

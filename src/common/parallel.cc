@@ -1,0 +1,47 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace pristi {
+
+int64_t ParallelThreadCount() {
+  static const int64_t count = [] {
+    int64_t configured = GetEnvIntOr("PRISTI_THREADS", 0);
+    if (configured > 0) return configured;
+    unsigned hardware = std::thread::hardware_concurrency();
+    return static_cast<int64_t>(hardware > 0 ? hardware : 1);
+  }();
+  return count;
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk) {
+  CHECK_LE(begin, end);
+  CHECK_GE(min_chunk, 1);
+  int64_t total = end - begin;
+  if (total == 0) return;
+  int64_t threads = std::min<int64_t>(
+      ParallelThreadCount(), (total + min_chunk - 1) / min_chunk);
+  if (threads <= 1) {
+    fn(begin, end);
+    return;
+  }
+  int64_t chunk = (total + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int64_t w = 0; w < threads; ++w) {
+    int64_t lo = begin + w * chunk;
+    int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace pristi

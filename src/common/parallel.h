@@ -1,0 +1,26 @@
+#ifndef PRISTI_COMMON_PARALLEL_H_
+#define PRISTI_COMMON_PARALLEL_H_
+
+// Fork-join parallel loop for batch-parallel kernels. The thread count
+// defaults to the hardware concurrency and can be pinned with the
+// PRISTI_THREADS environment variable; with one thread the loop runs
+// inline, so single-core environments pay nothing.
+
+#include <cstdint>
+#include <functional>
+
+namespace pristi {
+
+// Number of worker threads the library will use (>= 1).
+int64_t ParallelThreadCount();
+
+// Runs fn(begin..end) partitioned into contiguous chunks across threads.
+// fn must be safe to call concurrently on disjoint index ranges. Blocks
+// until every chunk completes.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk = 1);
+
+}  // namespace pristi
+
+#endif  // PRISTI_COMMON_PARALLEL_H_

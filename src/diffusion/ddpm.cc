@@ -1,0 +1,224 @@
+#include "diffusion/ddpm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace pristi::diffusion {
+
+namespace ag = ::pristi::autograd;
+namespace t = ::pristi::tensor;
+
+Tensor QSample(const Tensor& x0, const Tensor& eps,
+               const NoiseSchedule& schedule, int64_t t) {
+  CHECK(t::ShapesEqual(x0.shape(), eps.shape()));
+  float ab = schedule.alpha_bar(t);
+  Tensor out = t::MulScalar(x0, std::sqrt(ab));
+  out.AddInPlace(t::MulScalar(eps, std::sqrt(1.0f - ab)));
+  return out;
+}
+
+DiffusionBatch MakeSingleWindowBatch(const Tensor& values,
+                                     const Tensor& cond_mask,
+                                     const Tensor& target_mask) {
+  CHECK_EQ(values.ndim(), 2);
+  int64_t n = values.dim(0), l = values.dim(1);
+  DiffusionBatch batch;
+  batch.cond_mask = cond_mask.Reshaped({1, n, l});
+  batch.cond_values = t::Mul(values, cond_mask).Reshaped({1, n, l});
+  batch.interpolated =
+      data::LinearInterpolate(values, cond_mask).Reshaped({1, n, l});
+  batch.target_mask = target_mask.Reshaped({1, n, l});
+  return batch;
+}
+
+
+std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
+                                        const NoiseSchedule& schedule,
+                                        const data::ImputationTask& task,
+                                        const TrainOptions& options,
+                                        Rng& rng) {
+  CHECK(model != nullptr);
+  std::vector<data::Sample> samples = data::ExtractSamples(task, "train");
+  CHECK(!samples.empty()) << "no training windows";
+
+  nn::Adam optimizer(model->Parameters(), {.lr = options.lr});
+  std::vector<int64_t> milestones;
+  for (double frac : options.lr_milestone_fracs) {
+    milestones.push_back(static_cast<int64_t>(frac * options.epochs));
+  }
+  nn::MultiStepLr scheduler(&optimizer, milestones, options.lr_decay);
+
+  std::vector<double> epoch_losses;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<int64_t> order = rng.Permutation(
+        static_cast<int64_t>(samples.size()));
+    double loss_sum = 0.0;
+    int64_t step_count = 0;
+    for (size_t batch_begin = 0; batch_begin < order.size();
+         batch_begin += static_cast<size_t>(options.batch_size)) {
+      size_t batch_end = std::min(
+          order.size(), batch_begin + static_cast<size_t>(options.batch_size));
+      std::vector<Tensor> cond_values, cond_masks, interpolated, target_masks,
+          x0_parts;
+      for (size_t i = batch_begin; i < batch_end; ++i) {
+        const data::Sample& sample =
+            samples[static_cast<size_t>(order[i])];
+        // Historical-pattern option: borrow another window's observed mask.
+        const Tensor* historical = nullptr;
+        Tensor historical_mask;
+        if (options.mask_strategy ==
+            data::MaskStrategy::kHybridHistorical) {
+          const data::Sample& other = samples[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(samples.size()) - 1))];
+          historical_mask = other.observed;
+          historical = &historical_mask;
+        }
+        Tensor target = data::ApplyMaskStrategy(
+            sample.observed, options.mask_strategy, rng, historical);
+        Tensor cond_mask = data::MaskMinus(sample.observed, target);
+        cond_masks.push_back(cond_mask);
+        cond_values.push_back(t::Mul(sample.values, cond_mask));
+        interpolated.push_back(
+            data::LinearInterpolate(sample.values, cond_mask));
+        target_masks.push_back(target);
+        x0_parts.push_back(t::Mul(sample.values, target));
+      }
+      DiffusionBatch batch;
+      batch.cond_values = t::Stack(cond_values);
+      batch.cond_mask = t::Stack(cond_masks);
+      batch.interpolated = t::Stack(interpolated);
+      batch.target_mask = t::Stack(target_masks);
+      Tensor x0 = t::Stack(x0_parts);
+
+      int64_t step =
+          (options.high_t_bias > 0 && rng.Bernoulli(options.high_t_bias))
+              ? rng.UniformInt(schedule.num_steps() / 2,
+                               schedule.num_steps())
+              : rng.UniformInt(1, schedule.num_steps());
+      Tensor eps = Tensor::Randn(x0.shape(), rng);
+      Tensor noisy = t::Mul(QSample(x0, eps, schedule, step),
+                            batch.target_mask);
+
+      model->ZeroGrad();
+      Variable eps_hat = model->PredictNoise(noisy, batch, step);
+      Variable loss =
+          ag::MaskedMse(eps_hat, t::Mul(eps, batch.target_mask),
+                        batch.target_mask);
+      loss.Backward();
+      optimizer.Step();
+      loss_sum += loss.value()[0];
+      ++step_count;
+    }
+    double mean_loss = loss_sum / std::max<int64_t>(step_count, 1);
+    epoch_losses.push_back(mean_loss);
+    scheduler.Step(epoch + 1);
+    if (options.on_epoch) options.on_epoch(epoch, mean_loss);
+  }
+  return epoch_losses;
+}
+
+float ImputationResult::Quantile(int64_t node, int64_t step, double q) const {
+  CHECK(!samples.empty());
+  std::vector<float> values;
+  values.reserve(samples.size());
+  for (const Tensor& s : samples) values.push_back(s.at({node, step}));
+  std::sort(values.begin(), values.end());
+  double pos = q * (static_cast<double>(values.size()) - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return static_cast<float>(values[lo] * (1.0 - frac) + values[hi] * frac);
+}
+
+ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
+                              const NoiseSchedule& schedule,
+                              const data::Sample& sample,
+                              const ImputeOptions& options, Rng& rng) {
+  CHECK(model != nullptr);
+  CHECK_GT(options.num_samples, 0);
+  int64_t n = sample.values.dim(0), l = sample.values.dim(1);
+  // At inference the imputation target is everything not observed; the
+  // conditional information is every observed value (Algorithm 2).
+  Tensor target_mask(t::Shape{n, l});
+  for (int64_t i = 0; i < target_mask.numel(); ++i) {
+    target_mask[i] = sample.observed[i] > 0.5f ? 0.0f : 1.0f;
+  }
+  DiffusionBatch batch =
+      MakeSingleWindowBatch(sample.values, sample.observed, target_mask);
+
+  ImputationResult result;
+  result.samples.reserve(static_cast<size_t>(options.num_samples));
+  Tensor observed_values = t::Mul(sample.values, sample.observed);
+  // Step sequence: every step for ancestral sampling, a strided subsequence
+  // for DDIM.
+  std::vector<int64_t> steps;
+  int64_t stride = options.ddim ? std::max<int64_t>(options.ddim_stride, 1)
+                                : 1;
+  for (int64_t step = schedule.num_steps(); step >= 1; step -= stride) {
+    steps.push_back(step);
+  }
+  for (int64_t s = 0; s < options.num_samples; ++s) {
+    Tensor x = t::Mul(Tensor::Randn({1, n, l}, rng), batch.target_mask);
+    for (size_t si = 0; si < steps.size(); ++si) {
+      int64_t step = steps[si];
+      int64_t prev = si + 1 < steps.size() ? steps[si + 1] : 0;
+      Variable eps_hat_var = model->PredictNoise(x, batch, step);
+      Tensor eps_hat = eps_hat_var.value();
+      float ab = schedule.alpha_bar(step);
+      // Implied clean-sample estimate, clamped to the plausible range of
+      // standardized data. Clamping stops early reverse steps (where the
+      // predictor is least reliable) from compounding into divergence — the
+      // standard "clip x0" stabilization of DDPM implementations.
+      constexpr float kX0Clamp = 6.0f;
+      Tensor x0_hat = t::Clamp(
+          t::MulScalar(
+              t::Sub(x, t::MulScalar(eps_hat, std::sqrt(1.0f - ab))),
+              1.0f / std::sqrt(ab)),
+          -kX0Clamp, kX0Clamp);
+      Tensor next;
+      if (options.ddim) {
+        // DDIM (eta = 0): x_prev = sqrt(ab_prev) x0_hat
+        //                         + sqrt(1 - ab_prev) eps_hat.
+        float ab_prev = schedule.alpha_bar(prev);
+        next = t::Add(t::MulScalar(x0_hat, std::sqrt(ab_prev)),
+                      t::MulScalar(eps_hat, std::sqrt(1.0f - ab_prev)));
+      } else {
+        // DDPM ancestral step via the posterior mean in x0 form
+        // (equivalent to Algorithm 2 when x0_hat is unclamped):
+        // mu = [sqrt(ab_prev) beta_t x0_hat
+        //       + sqrt(alpha_t) (1 - ab_prev) x_t] / (1 - ab_t).
+        float alpha = schedule.alpha(step);
+        float beta = schedule.beta(step);
+        float ab_prev = schedule.alpha_bar(step - 1);
+        float c0 = std::sqrt(ab_prev) * beta / (1.0f - ab);
+        float ct = std::sqrt(alpha) * (1.0f - ab_prev) / (1.0f - ab);
+        next = t::Add(t::MulScalar(x0_hat, c0), t::MulScalar(x, ct));
+        if (step > 1) {
+          float sigma = std::sqrt(schedule.sigma2(step));
+          Tensor z = Tensor::Randn({1, n, l}, rng);
+          next.AddInPlace(t::MulScalar(z, sigma));
+        }
+      }
+      x = t::Mul(next, batch.target_mask);
+    }
+    // Merge: generated values on the target, observations elsewhere.
+    Tensor merged = t::Add(t::Mul(x.Reshaped({n, l}), target_mask),
+                           observed_values);
+    result.samples.push_back(merged);
+  }
+
+  // Per-entry median.
+  result.median = Tensor(t::Shape{n, l});
+  for (int64_t node = 0; node < n; ++node) {
+    for (int64_t step = 0; step < l; ++step) {
+      result.median.at({node, step}) = result.Quantile(node, step, 0.5);
+    }
+  }
+  return result;
+}
+
+}  // namespace pristi::diffusion

@@ -1,0 +1,101 @@
+#include "graph/sparse.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pristi::graph {
+
+CsrMatrix CsrMatrix::FromDense(const Tensor& dense, float eps) {
+  CHECK_EQ(dense.ndim(), 2);
+  CsrMatrix csr;
+  csr.rows_ = dense.dim(0);
+  csr.cols_ = dense.dim(1);
+  csr.row_ptr_.reserve(static_cast<size_t>(csr.rows_) + 1);
+  csr.row_ptr_.push_back(0);
+  for (int64_t r = 0; r < csr.rows_; ++r) {
+    for (int64_t c = 0; c < csr.cols_; ++c) {
+      float w = dense.at({r, c});
+      if (std::fabs(w) > eps) {
+        csr.col_idx_.push_back(c);
+        csr.values_.push_back(w);
+      }
+    }
+    csr.row_ptr_.push_back(static_cast<int64_t>(csr.values_.size()));
+  }
+  return csr;
+}
+
+double CsrMatrix::density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor dense = Tensor::Zeros({rows_, cols_});
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      dense.at({r, col_idx_[static_cast<size_t>(k)]}) =
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+Tensor CsrMatrix::MatMulNodeDim(const Tensor& x) const {
+  CHECK_GE(x.ndim(), 2);
+  CHECK_EQ(x.dim(-2), cols_) << "sparse MatMulNodeDim node-axis mismatch";
+  int64_t d = x.dim(-1);
+  int64_t batch = x.numel() / (cols_ * d);
+  tensor::Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 2] = rows_;
+  Tensor out(out_shape);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* xb = px + bi * cols_ * d;
+    float* ob = po + bi * rows_ * d;
+    for (int64_t r = 0; r < rows_; ++r) {
+      float* orow = ob + r * d;
+      for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+           k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+        float w = values_[static_cast<size_t>(k)];
+        const float* xrow = xb + col_idx_[static_cast<size_t>(k)] * d;
+        for (int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor CsrMatrix::TransposedMatMulNodeDim(const Tensor& x) const {
+  CHECK_GE(x.ndim(), 2);
+  CHECK_EQ(x.dim(-2), rows_)
+      << "sparse TransposedMatMulNodeDim node-axis mismatch";
+  int64_t d = x.dim(-1);
+  int64_t batch = x.numel() / (rows_ * d);
+  tensor::Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 2] = cols_;
+  Tensor out(out_shape);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* xb = px + bi * rows_ * d;
+    float* ob = po + bi * cols_ * d;
+    // Scatter: row r of A contributes to out[col] += w * x[r].
+    for (int64_t r = 0; r < rows_; ++r) {
+      const float* xrow = xb + r * d;
+      for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+           k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+        float w = values_[static_cast<size_t>(k)];
+        float* orow = ob + col_idx_[static_cast<size_t>(k)] * d;
+        for (int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pristi::graph

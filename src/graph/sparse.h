@@ -1,0 +1,52 @@
+#ifndef PRISTI_GRAPH_SPARSE_H_
+#define PRISTI_GRAPH_SPARSE_H_
+
+// Sparse (CSR) adjacency support — the scalability direction the paper
+// lists as future work ("improving the scalability and computation
+// efficiency of existing frameworks on larger scale spatiotemporal
+// datasets"). Thresholded Gaussian kernels are naturally sparse for large
+// N, so message passing can run in O(nnz * d) instead of O(N^2 * d).
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pristi::graph {
+
+using tensor::Tensor;
+
+// Compressed sparse row matrix over float weights.
+class CsrMatrix {
+ public:
+  // Builds from a dense (N, N) matrix, dropping entries with |w| <= eps.
+  static CsrMatrix FromDense(const Tensor& dense, float eps = 0.0f);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  // Fill fraction, for deciding sparse vs dense dispatch.
+  double density() const;
+
+  // Back to dense (N, N); for tests and fallback paths.
+  Tensor ToDense() const;
+
+  // y = A x over the node axis: x is (..., cols, d) -> (..., rows, d),
+  // matching tensor::MatMulNodeDim semantics.
+  Tensor MatMulNodeDim(const Tensor& x) const;
+
+  // Transposed product: y = A^T x, x is (..., rows, d) -> (..., cols, d).
+  // This is the adjoint needed for backprop through MatMulNodeDim.
+  Tensor TransposedMatMulNodeDim(const Tensor& x) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;   // size rows + 1
+  std::vector<int64_t> col_idx_;   // size nnz
+  std::vector<float> values_;      // size nnz
+};
+
+}  // namespace pristi::graph
+
+#endif  // PRISTI_GRAPH_SPARSE_H_

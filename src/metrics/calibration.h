@@ -1,0 +1,46 @@
+#ifndef PRISTI_METRICS_CALIBRATION_H_
+#define PRISTI_METRICS_CALIBRATION_H_
+
+// Calibration diagnostics for probabilistic imputation: empirical coverage
+// of central prediction intervals and their mean width. Complements CRPS —
+// a model can score well on CRPS while being badly calibrated at specific
+// levels; the paper's Fig. 6 visualizes exactly the 90% band.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pristi::metrics {
+
+using tensor::Tensor;
+
+struct CalibrationResult {
+  // Fraction of masked truths inside the central interval.
+  double coverage = 0.0;
+  // Mean interval width in data units (sharpness; smaller is better at
+  // equal coverage).
+  double mean_width = 0.0;
+  int64_t count = 0;
+};
+
+// Accumulates the empirical central-`level` interval (e.g. level = 0.9 ->
+// [q05, q95] of the sample set) over masked entries of whole windows.
+class CalibrationAccumulator {
+ public:
+  explicit CalibrationAccumulator(double level = 0.9);
+
+  void Add(const std::vector<Tensor>& samples, const Tensor& truth,
+           const Tensor& mask);
+
+  CalibrationResult Result() const;
+
+ private:
+  double level_;
+  int64_t covered_ = 0;
+  int64_t count_ = 0;
+  double width_sum_ = 0.0;
+};
+
+}  // namespace pristi::metrics
+
+#endif  // PRISTI_METRICS_CALIBRATION_H_

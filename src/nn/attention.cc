@@ -1,0 +1,88 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pristi::nn {
+
+namespace ag = ::pristi::autograd;
+
+MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t num_heads,
+                                       Rng& rng, int64_t virtual_nodes,
+                                       int64_t seq_len)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      head_dim_(d_model / num_heads),
+      virtual_nodes_(virtual_nodes) {
+  CHECK_GT(num_heads, 0);
+  CHECK_EQ(d_model % num_heads, 0) << "d_model must divide num_heads";
+  wq_ = AddParameter("wq",
+                     GlorotUniform({d_model, d_model}, d_model, d_model, rng));
+  wk_ = AddParameter("wk",
+                     GlorotUniform({d_model, d_model}, d_model, d_model, rng));
+  wv_ = AddParameter("wv",
+                     GlorotUniform({d_model, d_model}, d_model, d_model, rng));
+  wo_ = AddParameter("wo",
+                     GlorotUniform({d_model, d_model}, d_model, d_model, rng));
+  if (virtual_nodes_ > 0) {
+    CHECK_GT(seq_len, 0)
+        << "virtual-node attention needs a fixed sequence length";
+    CHECK_LT(virtual_nodes_, seq_len)
+        << "virtual nodes should compress the sequence";
+    pk_ = AddParameter(
+        "pk", GlorotUniform({virtual_nodes_, seq_len}, seq_len, virtual_nodes_,
+                            rng));
+    pv_ = AddParameter(
+        "pv", GlorotUniform({virtual_nodes_, seq_len}, seq_len, virtual_nodes_,
+                            rng));
+  }
+}
+
+Variable MultiHeadAttention::SplitHeads(const Variable& x) const {
+  int64_t b = x.value().dim(0);
+  int64_t s = x.value().dim(1);
+  Variable reshaped = ag::Reshape(x, {b, s, num_heads_, head_dim_});
+  return ag::Permute(reshaped, {0, 2, 1, 3});
+}
+
+Variable MultiHeadAttention::MergeHeads(const Variable& x) const {
+  int64_t b = x.value().dim(0);
+  int64_t s = x.value().dim(2);
+  Variable permuted = ag::Permute(x, {0, 2, 1, 3});
+  return ag::Reshape(permuted, {b, s, d_model_});
+}
+
+Variable MultiHeadAttention::Forward(const Variable& qk_source,
+                                     const Variable& v_source) const {
+  CHECK_EQ(qk_source.value().ndim(), 3);
+  CHECK_EQ(v_source.value().ndim(), 3);
+  CHECK_EQ(qk_source.value().dim(-1), d_model_);
+  CHECK_EQ(v_source.value().dim(-1), d_model_);
+  CHECK_EQ(qk_source.value().dim(0), v_source.value().dim(0));
+  CHECK_EQ(qk_source.value().dim(1), v_source.value().dim(1));
+
+  Variable q = ag::MatMulLastDim(qk_source, wq_);
+  Variable key_input = qk_source;
+  Variable value_input = v_source;
+  if (virtual_nodes_ > 0) {
+    // Eq. 9: compress keys/values to k virtual positions before projection.
+    key_input = ag::MatMulNodeDim(pk_, qk_source);
+    value_input = ag::MatMulNodeDim(pv_, v_source);
+  }
+  Variable k = ag::MatMulLastDim(key_input, wk_);
+  Variable v = ag::MatMulLastDim(value_input, wv_);
+
+  Variable qh = SplitHeads(q);  // (B, h, S, dh)
+  Variable kh = SplitHeads(k);  // (B, h, S_k, dh)
+  Variable vh = SplitHeads(v);  // (B, h, S_k, dh)
+
+  float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Variable scores = ag::MulScalar(
+      ag::BatchedMatMul(qh, ag::TransposeLast2(kh)), scale);
+  Variable weights = ag::SoftmaxLastDim(scores);  // (B, h, S, S_k)
+  Variable context = ag::BatchedMatMul(weights, vh);
+  return ag::MatMulLastDim(MergeHeads(context), wo_);
+}
+
+}  // namespace pristi::nn

@@ -1,0 +1,55 @@
+#include "nn/ema.h"
+
+#include "common/logging.h"
+
+namespace pristi::nn {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+EmaWeights::EmaWeights(std::vector<Variable> params, float decay)
+    : params_(std::move(params)), decay_(decay) {
+  CHECK_GT(decay_, 0.0f);
+  CHECK_LT(decay_, 1.0f);
+  shadow_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    CHECK(p.defined());
+    shadow_.push_back(p.value());  // initialize shadow at current weights
+  }
+}
+
+void EmaWeights::Update() {
+  CHECK(!shadow_applied_) << "Update() while shadow weights are applied";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& live = params_[i].value();
+    Tensor& shadow = shadow_[i];
+    float* ps = shadow.data();
+    const float* pl = live.data();
+    int64_t n = shadow.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      ps[j] = decay_ * ps[j] + (1.0f - decay_) * pl[j];
+    }
+  }
+}
+
+void EmaWeights::ApplyShadow() {
+  CHECK(!shadow_applied_);
+  stash_.clear();
+  stash_.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    stash_.push_back(params_[i].value());
+    params_[i].mutable_value() = shadow_[i];
+  }
+  shadow_applied_ = true;
+}
+
+void EmaWeights::Restore() {
+  CHECK(shadow_applied_) << "Restore() without ApplyShadow()";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i].mutable_value() = stash_[i];
+  }
+  stash_.clear();
+  shadow_applied_ = false;
+}
+
+}  // namespace pristi::nn

@@ -1,0 +1,41 @@
+#ifndef PRISTI_NN_EMA_H_
+#define PRISTI_NN_EMA_H_
+
+// Exponential moving average of model weights — the standard stabilization
+// for diffusion-model training (DDPM, DiffWave, CSDI all evaluate with EMA
+// weights). Keep one EmaWeights next to the optimizer, call Update() after
+// each step, and wrap evaluation in ApplyShadow()/Restore().
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pristi::nn {
+
+class EmaWeights {
+ public:
+  explicit EmaWeights(std::vector<autograd::Variable> params,
+                      float decay = 0.995f);
+
+  // shadow <- decay * shadow + (1 - decay) * param.
+  void Update();
+
+  // Swaps the shadow weights into the live parameters (stashing the live
+  // values); call before evaluation.
+  void ApplyShadow();
+  // Restores the live training weights stashed by ApplyShadow().
+  void Restore();
+
+  float decay() const { return decay_; }
+
+ private:
+  std::vector<autograd::Variable> params_;
+  std::vector<tensor::Tensor> shadow_;
+  std::vector<tensor::Tensor> stash_;
+  float decay_;
+  bool shadow_applied_ = false;
+};
+
+}  // namespace pristi::nn
+
+#endif  // PRISTI_NN_EMA_H_

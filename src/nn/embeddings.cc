@@ -1,0 +1,41 @@
+#include "nn/embeddings.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pristi::nn {
+
+using tensor::Tensor;
+
+Tensor SinusoidalEncoding(int64_t length, int64_t dim) {
+  CHECK_GT(length, 0);
+  CHECK_GT(dim, 1);
+  Tensor table(tensor::Shape{length, dim});
+  for (int64_t pos = 0; pos < length; ++pos) {
+    for (int64_t i = 0; i < dim; i += 2) {
+      double freq = std::pow(10000.0, -static_cast<double>(i) / dim);
+      double angle = pos * freq;
+      table.at({pos, i}) = static_cast<float>(std::sin(angle));
+      if (i + 1 < dim) {
+        table.at({pos, i + 1}) = static_cast<float>(std::cos(angle));
+      }
+    }
+  }
+  return table;
+}
+
+Tensor DiffusionStepEncoding(int64_t t, int64_t dim) {
+  CHECK_GE(t, 0);
+  CHECK_GT(dim, 1);
+  Tensor row(tensor::Shape{dim});
+  for (int64_t i = 0; i < dim; i += 2) {
+    double freq = std::pow(10000.0, -static_cast<double>(i) / dim);
+    double angle = t * freq;
+    row[i] = static_cast<float>(std::sin(angle));
+    if (i + 1 < dim) row[i + 1] = static_cast<float>(std::cos(angle));
+  }
+  return row;
+}
+
+}  // namespace pristi::nn

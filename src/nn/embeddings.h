@@ -1,0 +1,21 @@
+#ifndef PRISTI_NN_EMBEDDINGS_H_
+#define PRISTI_NN_EMBEDDINGS_H_
+
+// Fixed sinusoidal encodings (Transformer positions, DiffWave diffusion
+// steps) used as the auxiliary information U_tem and the diffusion-step
+// conditioning in the noise prediction models.
+
+#include "tensor/tensor.h"
+
+namespace pristi::nn {
+
+// (length, dim) table with sin on even channels, cos on odd channels:
+// PE(p, 2i) = sin(p / 10000^(2i/dim)), PE(p, 2i+1) = cos(...).
+tensor::Tensor SinusoidalEncoding(int64_t length, int64_t dim);
+
+// One row of the table above for a single (diffusion) step t.
+tensor::Tensor DiffusionStepEncoding(int64_t t, int64_t dim);
+
+}  // namespace pristi::nn
+
+#endif  // PRISTI_NN_EMBEDDINGS_H_

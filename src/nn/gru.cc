@@ -1,0 +1,55 @@
+#include "nn/gru.h"
+
+#include "common/logging.h"
+
+namespace pristi::nn {
+
+namespace ag = ::pristi::autograd;
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  auto wx = [&](const char* name) {
+    return AddParameter(
+        name, GlorotUniform({input_size, hidden_size}, input_size,
+                            hidden_size, rng));
+  };
+  auto wh = [&](const char* name) {
+    return AddParameter(
+        name, GlorotUniform({hidden_size, hidden_size}, hidden_size,
+                            hidden_size, rng));
+  };
+  auto b = [&](const char* name) {
+    return AddParameter(name, Tensor::Zeros({hidden_size}));
+  };
+  wxz_ = wx("wxz");
+  whz_ = wh("whz");
+  bz_ = b("bz");
+  wxr_ = wx("wxr");
+  whr_ = wh("whr");
+  br_ = b("br");
+  wxn_ = wx("wxn");
+  whn_ = wh("whn");
+  bn_ = b("bn");
+}
+
+Variable GruCell::Forward(const Variable& x, const Variable& h) const {
+  CHECK_EQ(x.value().dim(-1), input_size_);
+  CHECK_EQ(h.value().dim(-1), hidden_size_);
+  Variable z = ag::Sigmoid(ag::Add(
+      ag::Add(ag::MatMulLastDim(x, wxz_), ag::MatMulLastDim(h, whz_)), bz_));
+  Variable r = ag::Sigmoid(ag::Add(
+      ag::Add(ag::MatMulLastDim(x, wxr_), ag::MatMulLastDim(h, whr_)), br_));
+  Variable n = ag::Tanh(ag::Add(
+      ag::Add(ag::MatMulLastDim(x, wxn_),
+              ag::Mul(r, ag::MatMulLastDim(h, whn_))),
+      bn_));
+  // h' = (1 - z) * n + z * h
+  Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+}
+
+Variable GruCell::InitialState(int64_t batch) const {
+  return ag::Constant(Tensor::Zeros({batch, hidden_size_}));
+}
+
+}  // namespace pristi::nn

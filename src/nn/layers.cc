@@ -1,0 +1,61 @@
+#include "nn/layers.h"
+
+#include "common/logging.h"
+
+namespace pristi::nn {
+
+namespace ag = ::pristi::autograd;
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  CHECK_GT(in_features, 0);
+  CHECK_GT(out_features, 0);
+  weight_ = AddParameter(
+      "weight", GlorotUniform({in_features, out_features}, in_features,
+                              out_features, rng));
+  if (has_bias_) {
+    bias_ = AddParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  CHECK_EQ(x.value().dim(-1), in_features_)
+      << "Linear expected last dim " << in_features_;
+  Variable out = ag::MatMulLastDim(x, weight_);
+  if (has_bias_) out = ag::Add(out, bias_);
+  return out;
+}
+
+LayerNorm::LayerNorm(int64_t features, float eps) : eps_(eps) {
+  CHECK_GT(features, 0);
+  gamma_ = AddParameter("gamma", Tensor::Ones({features}));
+  beta_ = AddParameter("beta", Tensor::Zeros({features}));
+}
+
+Variable LayerNorm::Forward(const Variable& x) const {
+  return ag::LayerNormLastDim(x, gamma_, beta_, eps_);
+}
+
+Mlp::Mlp(int64_t in_features, int64_t hidden_features, int64_t out_features,
+         Rng& rng)
+    : fc1_(in_features, hidden_features, rng),
+      fc2_(hidden_features, out_features, rng) {
+  AddChild("fc1", &fc1_);
+  AddChild("fc2", &fc2_);
+}
+
+Variable Mlp::Forward(const Variable& x) const {
+  return fc2_.Forward(ag::Relu(fc1_.Forward(x)));
+}
+
+Variable GatedActivation(const Variable& x) {
+  int64_t d = x.value().dim(-1);
+  CHECK_EQ(d % 2, 0) << "GatedActivation needs an even channel count";
+  Variable filt = ag::SliceAxis(x, -1, 0, d / 2);
+  Variable gate = ag::SliceAxis(x, -1, d / 2, d / 2);
+  return ag::Mul(ag::Tanh(filt), ag::Sigmoid(gate));
+}
+
+}  // namespace pristi::nn

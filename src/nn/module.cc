@@ -1,0 +1,129 @@
+#include "nn/module.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace pristi::nn {
+
+std::vector<std::pair<std::string, Variable>> Module::NamedParameters() {
+  std::vector<std::pair<std::string, Variable>> all;
+  for (auto& [name, param] : params_) all.emplace_back(name, param);
+  for (auto& [child_name, child] : children_) {
+    for (auto& [name, param] : child->NamedParameters()) {
+      all.emplace_back(child_name + "." + name, param);
+    }
+  }
+  return all;
+}
+
+std::vector<Variable> Module::Parameters() {
+  std::vector<Variable> flat;
+  for (auto& [name, param] : NamedParameters()) flat.push_back(param);
+  return flat;
+}
+
+void Module::ZeroGrad() {
+  for (Variable& param : Parameters()) param.ZeroGrad();
+}
+
+int64_t Module::ParameterCount() {
+  int64_t count = 0;
+  for (Variable& param : Parameters()) count += param.numel();
+  return count;
+}
+
+namespace {
+
+void WriteString(std::ostream& out, const std::string& s) {
+  uint64_t len = s.size();
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(s.data(), static_cast<std::streamsize>(len));
+}
+
+std::string ReadString(std::istream& in) {
+  uint64_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  CHECK(in.good()) << "truncated checkpoint";
+  CHECK_LE(len, 1u << 20) << "implausible name length in checkpoint";
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  return s;
+}
+
+}  // namespace
+
+void Module::Save(std::ostream& out) {
+  auto named = NamedParameters();
+  uint64_t count = named.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (auto& [name, param] : named) {
+    WriteString(out, name);
+    tensor::WriteTensor(out, param.value());
+  }
+}
+
+void Module::Load(std::istream& in) {
+  auto named = NamedParameters();
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  CHECK_EQ(count, named.size()) << "checkpoint parameter count mismatch";
+  for (auto& [name, param] : named) {
+    std::string stored_name = ReadString(in);
+    CHECK(stored_name == name)
+        << "checkpoint name mismatch: expected " << name << ", got "
+        << stored_name;
+    Tensor stored = tensor::ReadTensor(in);
+    CHECK(tensor::ShapesEqual(stored.shape(), param.value().shape()))
+        << "checkpoint shape mismatch for " << name;
+    param.mutable_value() = std::move(stored);
+  }
+}
+
+bool Module::SaveToFile(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  Save(out);
+  return static_cast<bool>(out);
+}
+
+bool Module::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  Load(in);
+  return true;
+}
+
+Variable Module::AddParameter(const std::string& name, Tensor init) {
+  for (auto& [existing, param] : params_) {
+    CHECK(existing != name) << "duplicate parameter name: " << name;
+  }
+  Variable param(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(name, param);
+  return param;
+}
+
+void Module::AddChild(const std::string& name, Module* child) {
+  CHECK(child != nullptr);
+  for (auto& [existing, mod] : children_) {
+    CHECK(existing != name) << "duplicate child name: " << name;
+  }
+  children_.emplace_back(name, child);
+}
+
+Tensor Module::GlorotUniform(Shape shape, int64_t fan_in, int64_t fan_out,
+                             Rng& rng) {
+  float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand(std::move(shape), rng, -a, a);
+}
+
+Tensor Module::NormalInit(Shape shape, float scale, Rng& rng) {
+  Tensor t = Tensor::Randn(std::move(shape), rng);
+  t.ScaleInPlace(scale);
+  return t;
+}
+
+}  // namespace pristi::nn

@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pristi::nn {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+Adam::Adam(std::vector<Variable> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    CHECK(p.defined());
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  float bias1 = 1.0f - std::pow(options_.beta1,
+                                static_cast<float>(step_count_));
+  float bias2 = 1.0f - std::pow(options_.beta2,
+                                static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    Tensor& w = p.mutable_value();
+    float* pm = m.data();
+    float* pv = v.data();
+    float* pw = w.data();
+    const float* pg = g.data();
+    int64_t n = w.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = pg[j] + options_.weight_decay * pw[j];
+      pm[j] = options_.beta1 * pm[j] + (1.0f - options_.beta1) * grad;
+      pv[j] = options_.beta2 * pv[j] + (1.0f - options_.beta2) * grad * grad;
+      float m_hat = pm[j] / bias1;
+      float v_hat = pv[j] / bias2;
+      pw[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+MultiStepLr::MultiStepLr(Adam* optimizer, std::vector<int64_t> milestones,
+                         float gamma)
+    : optimizer_(optimizer),
+      milestones_(std::move(milestones)),
+      gamma_(gamma),
+      base_lr_(optimizer->lr()) {
+  CHECK(optimizer_ != nullptr);
+  std::sort(milestones_.begin(), milestones_.end());
+}
+
+void MultiStepLr::Step(int64_t epoch) {
+  float lr = base_lr_;
+  for (int64_t milestone : milestones_) {
+    if (epoch >= milestone) lr *= gamma_;
+  }
+  optimizer_->set_lr(lr);
+}
+
+}  // namespace pristi::nn

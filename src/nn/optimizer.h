@@ -1,0 +1,61 @@
+#ifndef PRISTI_NN_OPTIMIZER_H_
+#define PRISTI_NN_OPTIMIZER_H_
+
+// Adam optimizer and the multi-step learning-rate schedule the paper uses
+// ("decayed to 0.0001 at 75% of the total epochs, and to 0.00001 at 90%").
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pristi::nn {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<autograd::Variable> params, AdamOptions options = {});
+
+  // Applies one update from the accumulated gradients. Parameters without a
+  // gradient this step are skipped.
+  void Step();
+  void ZeroGrad();
+
+  float lr() const { return options_.lr; }
+  void set_lr(float lr) { options_.lr = lr; }
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  std::vector<autograd::Variable> params_;
+  AdamOptions options_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  int64_t step_count_ = 0;
+};
+
+// Piecewise-constant LR decay: multiplies the base LR by `gamma` after each
+// milestone (expressed as an absolute epoch index).
+class MultiStepLr {
+ public:
+  MultiStepLr(Adam* optimizer, std::vector<int64_t> milestones,
+              float gamma = 0.1f);
+
+  // Call once per epoch, after training that epoch.
+  void Step(int64_t epoch);
+
+ private:
+  Adam* optimizer_;
+  std::vector<int64_t> milestones_;
+  float gamma_;
+  float base_lr_;
+};
+
+}  // namespace pristi::nn
+
+#endif  // PRISTI_NN_OPTIMIZER_H_

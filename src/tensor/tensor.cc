@@ -1,0 +1,739 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace pristi::tensor {
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+int64_t ShapeNumel(const Shape& shape) {
+  int64_t numel = 1;
+  for (int64_t d : shape) {
+    CHECK_GE(d, 0) << "negative dimension in shape " << ShapeToString(shape);
+    numel *= d;
+  }
+  return numel;
+}
+
+bool ShapesEqual(const Shape& a, const Shape& b) { return a == b; }
+
+Tensor::Tensor() : shape_{0} {}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ShapeNumel(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()))
+      << "data size does not match shape " << ShapeToString(shape_);
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t((Shape()));
+  t.data_.assign(1, value);
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.Normal());
+  return t;
+}
+
+Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t(Shape{n});
+  for (int64_t i = 0; i < n; ++i) t.data_[static_cast<size_t>(i)] = float(i);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t axis) const {
+  if (axis < 0) axis += ndim();
+  CHECK_GE(axis, 0);
+  CHECK_LT(axis, ndim());
+  return shape_[static_cast<size_t>(axis)];
+}
+
+namespace {
+
+int64_t FlatIndex(const Shape& shape, std::initializer_list<int64_t> idx) {
+  CHECK_EQ(idx.size(), shape.size());
+  int64_t flat = 0;
+  size_t axis = 0;
+  for (int64_t i : idx) {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, shape[axis]);
+    flat = flat * shape[axis] + i;
+    ++axis;
+  }
+  return flat;
+}
+
+}  // namespace
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  return data_[static_cast<size_t>(FlatIndex(shape_, idx))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data_[static_cast<size_t>(FlatIndex(shape_, idx))];
+}
+
+float& Tensor::operator[](int64_t flat_index) {
+  CHECK_GE(flat_index, 0);
+  CHECK_LT(flat_index, numel());
+  return data_[static_cast<size_t>(flat_index)];
+}
+
+float Tensor::operator[](int64_t flat_index) const {
+  CHECK_GE(flat_index, 0);
+  CHECK_LT(flat_index, numel());
+  return data_[static_cast<size_t>(flat_index)];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  CHECK(ShapesEqual(shape_, other.shape_))
+      << "AddInPlace shape mismatch: " << ShapeToString(shape_) << " vs "
+      << ShapeToString(other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::ScaleInPlace(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  CHECK_EQ(ShapeNumel(new_shape), numel())
+      << "reshape " << ShapeToString(shape_) << " -> "
+      << ShapeToString(new_shape);
+  return Tensor(std::move(new_shape), data_);
+}
+
+std::string Tensor::ToString(int64_t max_entries) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " {";
+  int64_t n = std::min<int64_t>(numel(), max_entries);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[static_cast<size_t>(i)];
+  }
+  if (numel() > n) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Broadcasting machinery
+// ---------------------------------------------------------------------------
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  size_t out_ndim = std::max(a.size(), b.size());
+  Shape out(out_ndim);
+  for (size_t i = 0; i < out_ndim; ++i) {
+    int64_t da = i < out_ndim - a.size() ? 1 : a[i - (out_ndim - a.size())];
+    int64_t db = i < out_ndim - b.size() ? 1 : b[i - (out_ndim - b.size())];
+    CHECK(da == db || da == 1 || db == 1)
+        << "incompatible broadcast: " << ShapeToString(a) << " vs "
+        << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+namespace {
+
+// Row-major strides, with stride 0 for broadcast (size-1) dims relative to
+// the output shape.
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  std::vector<int64_t> strides(out.size(), 0);
+  int64_t stride = 1;
+  // Natural strides of `in`, aligned to the right of `out`.
+  size_t offset = out.size() - in.size();
+  std::vector<int64_t> in_strides(in.size());
+  for (size_t i = in.size(); i-- > 0;) {
+    in_strides[i] = stride;
+    stride *= in[i];
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i < offset) {
+      strides[i] = 0;
+    } else {
+      int64_t d = in[i - offset];
+      strides[i] = (d == 1 && out[i] != 1) ? 0 : in_strides[i - offset];
+    }
+  }
+  return strides;
+}
+
+template <typename BinaryFn>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryFn fn) {
+  // Fast path: identical shapes.
+  if (ShapesEqual(a.shape(), b.shape())) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
+  std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
+  size_t ndim = out_shape.size();
+  std::vector<int64_t> idx(ndim, 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  int64_t n = out.numel();
+  int64_t oa = 0, ob = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = fn(pa[oa], pb[ob]);
+    // Increment the multi-index (row-major) and the two input offsets.
+    for (size_t i = ndim; i-- > 0;) {
+      ++idx[i];
+      oa += sa[i];
+      ob += sb[i];
+      if (idx[i] < out_shape[i]) break;
+      oa -= sa[i] * out_shape[i];
+      ob -= sb[i] * out_shape[i];
+      idx[i] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor SumToShape(const Tensor& t, const Shape& target_shape) {
+  if (ShapesEqual(t.shape(), target_shape)) return t;
+  CHECK_LE(target_shape.size(), t.shape().size());
+  // Sum leading extra axes first.
+  Tensor cur = t;
+  while (cur.shape().size() > target_shape.size()) {
+    cur = SumAxis(cur, 0, /*keepdim=*/false);
+  }
+  // Then sum broadcast (size-1) axes.
+  for (size_t i = 0; i < target_shape.size(); ++i) {
+    if (target_shape[i] == 1 && cur.shape()[i] != 1) {
+      cur = SumAxis(cur, static_cast<int64_t>(i), /*keepdim=*/true);
+    } else {
+      CHECK_EQ(target_shape[i], cur.shape()[i])
+          << "SumToShape cannot reduce " << ShapeToString(t.shape())
+          << " to " << ShapeToString(target_shape);
+    }
+  }
+  return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Unary ops
+// ---------------------------------------------------------------------------
+
+Tensor Apply(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+namespace {
+
+template <typename Fn>
+Tensor UnaryOp(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Square(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x * x; });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  CHECK_LE(lo, hi);
+  return UnaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+Tensor Where(const Tensor& cond, const Tensor& a, const Tensor& b) {
+  CHECK(ShapesEqual(cond.shape(), a.shape()));
+  CHECK(ShapesEqual(cond.shape(), b.shape()));
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = cond[i] > 0.5f ? a[i] : b[i];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix products
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// C += A (m,k) * B (k,n), all row-major raw pointers. i-k-j loop order keeps
+// the innermost loop contiguous in both B and C; __restrict lets the
+// compiler vectorize the j-loop.
+inline void MatMulAccumulate(const float* __restrict a,
+                             const float* __restrict b, float* __restrict c,
+                             int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Batched variant with the loop inside the kernel, so tiny per-sample
+// matmuls (attention heads) amortize the call overhead.
+inline void BatchedMatMulAccumulate(const float* __restrict a,
+                                    const float* __restrict b,
+                                    float* __restrict c, int64_t batch,
+                                    int64_t m, int64_t k, int64_t n,
+                                    int64_t stride_a, int64_t stride_b) {
+  // Parallelize across the batch when each worker gets enough flops to
+  // amortize thread startup (no-op on single-core builds).
+  constexpr int64_t kMinFlopsPerChunk = 1 << 18;
+  int64_t per_item = m * k * n;
+  int64_t min_chunk =
+      per_item > 0 ? std::max<int64_t>(1, kMinFlopsPerChunk / per_item)
+                   : batch;
+  ParallelFor(
+      0, batch,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t bi = lo; bi < hi; ++bi) {
+          MatMulAccumulate(a + bi * stride_a, b + bi * stride_b,
+                           c + bi * m * n, m, k, n);
+        }
+      },
+      min_chunk);
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.ndim(), 2);
+  CHECK_EQ(b.ndim(), 2);
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  CHECK_EQ(k, b.dim(0)) << "MatMul inner dim mismatch";
+  Tensor out(Shape{m, n});
+  MatMulAccumulate(a.data(), b.data(), out.data(), m, k, n);
+  return out;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  CHECK_GE(a.ndim(), 2);
+  CHECK_EQ(a.ndim(), b.ndim());
+  int64_t nd = a.ndim();
+  for (int64_t i = 0; i < nd - 2; ++i) {
+    CHECK_EQ(a.dim(i), b.dim(i)) << "BatchedMatMul leading dim mismatch";
+  }
+  int64_t m = a.dim(nd - 2), k = a.dim(nd - 1), n = b.dim(nd - 1);
+  CHECK_EQ(k, b.dim(nd - 2)) << "BatchedMatMul inner dim mismatch";
+  int64_t batch = a.numel() / (m * k);
+  Shape out_shape(a.shape().begin(), a.shape().end() - 2);
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+  BatchedMatMulAccumulate(a.data(), b.data(), out.data(), batch, m, k, n,
+                          m * k, k * n);
+  return out;
+}
+
+Tensor MatMulLastDim(const Tensor& x, const Tensor& w) {
+  CHECK_EQ(w.ndim(), 2);
+  CHECK_GE(x.ndim(), 1);
+  int64_t k_in = x.dim(-1);
+  CHECK_EQ(k_in, w.dim(0)) << "MatMulLastDim inner dim mismatch";
+  int64_t k_out = w.dim(1);
+  int64_t rows = x.numel() / k_in;
+  Shape out_shape = x.shape();
+  out_shape.back() = k_out;
+  Tensor out(out_shape);
+  MatMulAccumulate(x.data(), w.data(), out.data(), rows, k_in, k_out);
+  return out;
+}
+
+Tensor MatMulNodeDim(const Tensor& p, const Tensor& x) {
+  CHECK_EQ(p.ndim(), 2);
+  CHECK_GE(x.ndim(), 2);
+  int64_t rows_out = p.dim(0), rows_in = p.dim(1);
+  CHECK_EQ(rows_in, x.dim(-2)) << "MatMulNodeDim node-axis mismatch";
+  int64_t d = x.dim(-1);
+  int64_t batch = x.numel() / (rows_in * d);
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 2] = rows_out;
+  Tensor out(out_shape);
+  BatchedMatMulAccumulate(p.data(), x.data(), out.data(), batch, rows_out,
+                          rows_in, d, /*stride_a=*/0,
+                          /*stride_b=*/rows_in * d);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+float SumAll(const Tensor& a) {
+  // Kahan summation keeps reductions stable for large tensors.
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) sum += a[i];
+  return static_cast<float>(sum);
+}
+
+float MeanAll(const Tensor& a) {
+  CHECK_GT(a.numel(), 0);
+  return SumAll(a) / static_cast<float>(a.numel());
+}
+
+float MaxAll(const Tensor& a) {
+  CHECK_GT(a.numel(), 0);
+  float m = a[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+float MinAll(const Tensor& a) {
+  CHECK_GT(a.numel(), 0);
+  float m = a[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = std::min(m, a[i]);
+  return m;
+}
+
+Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.ndim();
+  CHECK_GE(axis, 0);
+  CHECK_LT(axis, a.ndim());
+  int64_t outer = 1, mid = a.dim(axis), inner = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= a.dim(i);
+  for (int64_t i = axis + 1; i < a.ndim(); ++i) inner *= a.dim(i);
+  Shape out_shape;
+  for (int64_t i = 0; i < a.ndim(); ++i) {
+    if (i == axis) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.dim(i));
+    }
+  }
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t m = 0; m < mid; ++m) {
+      const float* src = pa + (o * mid + m) * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor MeanAxis(const Tensor& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.ndim();
+  Tensor out = SumAxis(a, axis, keepdim);
+  out.ScaleInPlace(1.0f / static_cast<float>(a.dim(axis)));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shape manipulation
+// ---------------------------------------------------------------------------
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  CHECK_EQ(static_cast<int64_t>(perm.size()), a.ndim());
+  int64_t nd = a.ndim();
+  std::vector<bool> seen(static_cast<size_t>(nd), false);
+  Shape out_shape(static_cast<size_t>(nd));
+  for (int64_t i = 0; i < nd; ++i) {
+    int64_t p = perm[static_cast<size_t>(i)];
+    CHECK_GE(p, 0);
+    CHECK_LT(p, nd);
+    CHECK(!seen[static_cast<size_t>(p)]) << "perm is not a permutation";
+    seen[static_cast<size_t>(p)] = true;
+    out_shape[static_cast<size_t>(i)] = a.dim(p);
+  }
+  // Strides of the input, then walk the output in row-major order.
+  std::vector<int64_t> in_strides(static_cast<size_t>(nd));
+  int64_t stride = 1;
+  for (int64_t i = nd; i-- > 0;) {
+    in_strides[static_cast<size_t>(i)] = stride;
+    stride *= a.dim(i);
+  }
+  std::vector<int64_t> out_strides_in(static_cast<size_t>(nd));
+  for (int64_t i = 0; i < nd; ++i) {
+    out_strides_in[static_cast<size_t>(i)] =
+        in_strides[static_cast<size_t>(perm[static_cast<size_t>(i)])];
+  }
+  Tensor out(out_shape);
+  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
+  const float* pa = a.data();
+  float* po = out.data();
+  int64_t n = out.numel();
+  int64_t in_off = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = pa[in_off];
+    for (int64_t i = nd; i-- > 0;) {
+      size_t ui = static_cast<size_t>(i);
+      ++idx[ui];
+      in_off += out_strides_in[ui];
+      if (idx[ui] < out_shape[ui]) break;
+      in_off -= out_strides_in[ui] * out_shape[ui];
+      idx[ui] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  CHECK_GE(a.ndim(), 2);
+  std::vector<int64_t> perm(static_cast<size_t>(a.ndim()));
+  for (int64_t i = 0; i < a.ndim(); ++i) perm[static_cast<size_t>(i)] = i;
+  std::swap(perm[perm.size() - 1], perm[perm.size() - 2]);
+  return Permute(a, perm);
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  CHECK(!parts.empty());
+  int64_t nd = parts[0].ndim();
+  if (axis < 0) axis += nd;
+  CHECK_GE(axis, 0);
+  CHECK_LT(axis, nd);
+  int64_t axis_total = 0;
+  for (const Tensor& p : parts) {
+    CHECK_EQ(p.ndim(), nd);
+    for (int64_t i = 0; i < nd; ++i) {
+      if (i != axis) CHECK_EQ(p.dim(i), parts[0].dim(i));
+    }
+    axis_total += p.dim(axis);
+  }
+  Shape out_shape = parts[0].shape();
+  out_shape[static_cast<size_t>(axis)] = axis_total;
+  Tensor out(out_shape);
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= out.dim(i);
+  for (int64_t i = axis + 1; i < nd; ++i) inner *= out.dim(i);
+  float* po = out.data();
+  int64_t axis_offset = 0;
+  for (const Tensor& p : parts) {
+    int64_t mid = p.dim(axis);
+    const float* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(po + (o * axis_total + axis_offset) * inner,
+                  pp + o * mid * inner,
+                  static_cast<size_t>(mid * inner) * sizeof(float));
+    }
+    axis_offset += mid;
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  CHECK(!parts.empty());
+  Shape item_shape = parts[0].shape();
+  Shape out_shape;
+  out_shape.push_back(static_cast<int64_t>(parts.size()));
+  for (int64_t d : item_shape) out_shape.push_back(d);
+  Tensor out(out_shape);
+  int64_t item_numel = parts[0].numel();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    CHECK(ShapesEqual(parts[i].shape(), item_shape))
+        << "Stack requires identical shapes";
+    std::memcpy(out.data() + static_cast<int64_t>(i) * item_numel,
+                parts[i].data(),
+                static_cast<size_t>(item_numel) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start,
+                 int64_t length) {
+  int64_t nd = a.ndim();
+  if (axis < 0) axis += nd;
+  CHECK_GE(axis, 0);
+  CHECK_LT(axis, nd);
+  CHECK_GE(start, 0);
+  CHECK_GE(length, 0);
+  CHECK_LE(start + length, a.dim(axis));
+  int64_t outer = 1, mid = a.dim(axis), inner = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= a.dim(i);
+  for (int64_t i = axis + 1; i < nd; ++i) inner *= a.dim(i);
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(axis)] = length;
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(po + o * length * inner, pa + (o * mid + start) * inner,
+                static_cast<size_t>(length * inner) * sizeof(float));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Softmax
+// ---------------------------------------------------------------------------
+
+Tensor SoftmaxLastDim(const Tensor& a) {
+  CHECK_GE(a.ndim(), 1);
+  int64_t d = a.dim(-1);
+  CHECK_GT(d, 0);
+  int64_t rows = a.numel() / d;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = pa + r * d;
+    float* dst = po + r * d;
+    float row_max = src[0];
+    for (int64_t i = 1; i < d; ++i) row_max = std::max(row_max, src[i]);
+    double denom = 0.0;
+    for (int64_t i = 0; i < d; ++i) {
+      dst[i] = std::exp(src[i] - row_max);
+      denom += dst[i];
+    }
+    float inv = static_cast<float>(1.0 / denom);
+    for (int64_t i = 0; i < d; ++i) dst[i] *= inv;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons & serialization
+// ---------------------------------------------------------------------------
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (!ShapesEqual(a.shape(), b.shape())) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    float x = a[i], y = b[i];
+    if (std::isnan(x) || std::isnan(y)) return false;
+    if (std::fabs(x - y) > atol + rtol * std::fabs(y)) return false;
+  }
+  return true;
+}
+
+void WriteTensor(std::ostream& out, const Tensor& t) {
+  int64_t nd = t.ndim();
+  out.write(reinterpret_cast<const char*>(&nd), sizeof(nd));
+  for (int64_t i = 0; i < nd; ++i) {
+    int64_t d = t.dim(i);
+    out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor ReadTensor(std::istream& in) {
+  int64_t nd = 0;
+  in.read(reinterpret_cast<char*>(&nd), sizeof(nd));
+  CHECK(in.good()) << "truncated tensor stream";
+  CHECK_GE(nd, 0);
+  CHECK_LE(nd, 8) << "implausible tensor rank";
+  Shape shape(static_cast<size_t>(nd));
+  for (int64_t i = 0; i < nd; ++i) {
+    in.read(reinterpret_cast<char*>(&shape[static_cast<size_t>(i)]),
+            sizeof(int64_t));
+  }
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  CHECK(in.good()) << "truncated tensor payload";
+  return t;
+}
+
+}  // namespace pristi::tensor

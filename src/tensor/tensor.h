@@ -1,0 +1,167 @@
+#ifndef PRISTI_TENSOR_TENSOR_H_
+#define PRISTI_TENSOR_TENSOR_H_
+
+// Dense row-major float32 tensor with value semantics.
+//
+// This is the numerical substrate for the whole library: the autograd tape
+// (src/autograd) wraps these tensors, and every model (PriSTI, CSDI, the RNN
+// baselines) is expressed in terms of the kernels declared here. The design
+// favours clarity and testability over peak throughput — experiment shapes
+// in this reproduction are small (N<=325 nodes, L<=36 steps, d<=64 channels),
+// so a clean O(n) / blocked O(n^3) implementation is sufficient.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pristi::tensor {
+
+// Tensor shape; an empty Shape denotes a scalar (numel == 1, ndim == 0).
+using Shape = std::vector<int64_t>;
+
+std::string ShapeToString(const Shape& shape);
+int64_t ShapeNumel(const Shape& shape);
+bool ShapesEqual(const Shape& a, const Shape& b);
+
+class Tensor {
+ public:
+  // An empty (numel 0, ndim 1 with dim 0) tensor. Distinct from a scalar.
+  Tensor();
+
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  Tensor(Shape shape, std::vector<float> data);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  // ---- Factories ------------------------------------------------------
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  static Tensor Scalar(float value);
+  // i.i.d. N(0,1) entries.
+  static Tensor Randn(Shape shape, Rng& rng);
+  // i.i.d. U[lo, hi) entries.
+  static Tensor Rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  // [0, 1, ..., n-1] as a 1-D tensor.
+  static Tensor Arange(int64_t n);
+
+  // ---- Introspection ---------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t axis) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  // ---- Element access (debug-friendly; bounds-checked) ----------------
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+  float& operator[](int64_t flat_index);
+  float operator[](int64_t flat_index) const;
+
+  // ---- In-place helpers ------------------------------------------------
+  void Fill(float value);
+  void AddInPlace(const Tensor& other);          // same shape
+  void ScaleInPlace(float factor);
+  void ZeroOut() { Fill(0.0f); }
+
+  // Returns a copy with a new shape of identical numel.
+  Tensor Reshaped(Shape new_shape) const;
+
+  std::string ToString(int64_t max_entries = 32) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// ---- Elementwise binary ops with NumPy-style broadcasting ---------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+// Shape of `Op(a, b)` under broadcasting; CHECK-fails on incompatibility.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+// Reduce-sums `t` down to `target_shape` (the adjoint of broadcasting).
+Tensor SumToShape(const Tensor& t, const Shape& target_shape);
+
+// ---- Elementwise unary / scalar ops --------------------------------------
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Apply(const Tensor& a, const std::function<float(float)>& fn);
+// Elementwise clamp to [lo, hi].
+Tensor Clamp(const Tensor& a, float lo, float hi);
+// Elementwise select: cond > 0.5 ? a : b (all same shape).
+Tensor Where(const Tensor& cond, const Tensor& a, const Tensor& b);
+
+// ---- Matrix products ------------------------------------------------------
+// (m,k) x (k,n) -> (m,n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// (..., m, k) x (..., k, n) -> (..., m, n); leading dims must match exactly.
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
+// Applies a shared (k_in, k_out) matrix to the last axis: (..., k_in) ->
+// (..., k_out). This is the kernel behind Linear / Conv1x1 layers.
+Tensor MatMulLastDim(const Tensor& x, const Tensor& w);
+// Applies a shared (rows_out, rows_in) matrix to the second-to-last axis:
+// (..., rows_in, d) -> (..., rows_out, d). Kernel behind graph convolution
+// (rows = nodes) and virtual-node downsampling.
+Tensor MatMulNodeDim(const Tensor& p, const Tensor& x);
+
+// ---- Reductions -------------------------------------------------------------
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+float MinAll(const Tensor& a);
+// Sum over `axis`, keeping it as size-1 when keepdim.
+Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim = false);
+Tensor MeanAxis(const Tensor& a, int64_t axis, bool keepdim = false);
+
+// ---- Shape manipulation ----------------------------------------------------
+// Permutes axes; perm must be a permutation of [0, ndim).
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm);
+// Transposes the last two axes.
+Tensor TransposeLast2(const Tensor& a);
+// Concatenates along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+// Stacks same-shaped tensors along a new leading axis.
+Tensor Stack(const std::vector<Tensor>& parts);
+// Slices [start, start+length) along `axis`.
+Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start, int64_t length);
+
+// ---- Softmax ----------------------------------------------------------------
+// Numerically stable softmax over the last axis.
+Tensor SoftmaxLastDim(const Tensor& a);
+
+// ---- Comparisons -------------------------------------------------------------
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-5f);
+
+// ---- Serialization ------------------------------------------------------------
+// Binary format: ndim, dims, raw float payload. Used for model checkpoints.
+void WriteTensor(std::ostream& out, const Tensor& t);
+Tensor ReadTensor(std::istream& in);
+
+}  // namespace pristi::tensor
+
+#endif  // PRISTI_TENSOR_TENSOR_H_

@@ -1,0 +1,289 @@
+// Tests for the reverse-mode autodiff tape: closed-form gradients plus
+// finite-difference property checks over every operator.
+
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+
+namespace pristi::autograd {
+namespace {
+
+namespace t = ::pristi::tensor;
+using t::AllClose;
+using t::Shape;
+
+TEST(VariableBasics, LeafProperties) {
+  Variable v(Tensor::Ones({2, 2}), /*requires_grad=*/true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.has_grad());
+  EXPECT_EQ(v.numel(), 4);
+}
+
+TEST(VariableBasics, BackwardThroughSum) {
+  Variable x(Tensor({3}, {1, 2, 3}), true);
+  Variable loss = SumAll(x);
+  loss.Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor::Ones({3})));
+}
+
+TEST(VariableBasics, GradAccumulatesAcrossBackwardCalls) {
+  Variable x(Tensor({2}, {1, 1}), true);
+  SumAll(x).Backward();
+  SumAll(x).Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor::Full({2}, 2.0f)));
+  x.ZeroGrad();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor::Zeros({2})));
+}
+
+TEST(VariableBasics, DetachCutsGraph) {
+  Variable x(Tensor({2}, {3, 4}), true);
+  Variable y = MulScalar(x, 2.0f);
+  Variable z = SumAll(y.Detach());
+  z.Backward();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(VariableBasics, ConstantInputsPruneGraph) {
+  Variable c = Constant(Tensor({2}, {1, 2}));
+  Variable y = MulScalar(c, 3.0f);
+  // No grads anywhere: the op node should not even hold a backward edge.
+  EXPECT_EQ(y.node()->parents.size(), 0u);
+}
+
+TEST(ChainRule, TwoLayerComposition) {
+  // f(x) = sum((2x + 1)^2); df/dx = 2 * (2x+1) * 2 = 8x + 4.
+  Variable x(Tensor({3}, {0, 1, -2}), true);
+  Variable y = Square(AddScalar(MulScalar(x, 2.0f), 1.0f));
+  SumAll(y).Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor({3}, {4, 12, -12})));
+}
+
+TEST(ChainRule, DiamondGraphAccumulates) {
+  // f(x) = sum(x * x + x): both branches contribute to dx.
+  Variable x(Tensor({2}, {3, -1}), true);
+  Variable y = Add(Mul(x, x), x);
+  SumAll(y).Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor({2}, {7, -1})));
+}
+
+TEST(MatMulGrad, ClosedForm) {
+  // f = sum(A B); dA = 1 B^T, dB = A^T 1.
+  Variable a(Tensor({2, 2}, {1, 2, 3, 4}), true);
+  Variable b(Tensor({2, 2}, {5, 6, 7, 8}), true);
+  SumAll(MatMul(a, b)).Backward();
+  EXPECT_TRUE(AllClose(a.grad(), Tensor({2, 2}, {11, 15, 11, 15})));
+  EXPECT_TRUE(AllClose(b.grad(), Tensor({2, 2}, {4, 4, 6, 6})));
+}
+
+TEST(BroadcastGrad, ReducesToParentShape) {
+  Variable a(Tensor::Ones({2, 3}), true);
+  Variable row(Tensor({1, 3}, {1, 2, 3}), true);
+  SumAll(Mul(a, row)).Backward();
+  EXPECT_EQ(row.grad().shape(), (Shape{1, 3}));
+  // Each row entry is multiplied against 2 ones.
+  EXPECT_TRUE(AllClose(row.grad(), Tensor({1, 3}, {2, 2, 2})));
+  EXPECT_TRUE(AllClose(a.grad(), Tensor({2, 3}, {1, 2, 3, 1, 2, 3})));
+}
+
+TEST(MaskedMseGrad, ZeroAtOptimumAndOnMaskedOut) {
+  Tensor target({2, 2}, {1, 2, 3, 4});
+  Tensor mask({2, 2}, {1, 0, 1, 0});
+  Variable pred(Tensor({2, 2}, {1, 9, 5, 9}), true);
+  Variable loss = MaskedMse(pred, target, mask);
+  // loss = ((1-1)^2 + (5-3)^2) / 2 = 2.
+  EXPECT_NEAR(loss.value()[0], 2.0f, 1e-5f);
+  loss.Backward();
+  const Tensor& g = pred.grad();
+  EXPECT_FLOAT_EQ(g[0], 0.0f);   // at optimum
+  EXPECT_FLOAT_EQ(g[1], 0.0f);   // masked out
+  EXPECT_FLOAT_EQ(g[3], 0.0f);   // masked out
+  EXPECT_NEAR(g[2], 2.0f * 2.0f / 2.0f, 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference checks for every operator (property-based).
+// ---------------------------------------------------------------------------
+
+TEST(GradCheck, Add) {
+  Rng rng(1);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) { return SumAll(Mul(Add(v[0], v[1]), v[0])); },
+      {Tensor::Randn({3, 2}, rng), Tensor::Randn({3, 2}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, SubDivBroadcast) {
+  Rng rng(2);
+  Tensor b = t::AddScalar(t::Abs(Tensor::Randn({1, 4}, rng)), 1.0f);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(Div(Sub(v[0], v[1]), v[1])));
+      },
+      {Tensor::Randn({3, 4}, rng), b});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, UnaryChain) {
+  Rng rng(3);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Tanh(Sigmoid(MulScalar(v[0], 1.5f))));
+      },
+      {Tensor::Randn({5}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, ExpLogSqrt) {
+  Rng rng(4);
+  Tensor x = t::AddScalar(t::Abs(Tensor::Randn({4}, rng)), 0.8f);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Log(Sqrt(Exp(MulScalar(v[0], 0.5f)))));
+      },
+      {x});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  Rng rng(5);
+  // Shift inputs away from 0 so finite differences are valid.
+  Tensor x = Tensor::Randn({6}, rng);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.15f) x[i] = 0.5f;
+  }
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) { return SumAll(Square(Relu(v[0]))); },
+      {x});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MatMulBoth) {
+  Rng rng(6);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(MatMul(v[0], v[1])));
+      },
+      {Tensor::Randn({3, 4}, rng), Tensor::Randn({4, 2}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, BatchedMatMul) {
+  Rng rng(7);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(BatchedMatMul(v[0], v[1])));
+      },
+      {Tensor::Randn({2, 3, 2}, rng), Tensor::Randn({2, 2, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MatMulLastDim) {
+  Rng rng(8);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(MatMulLastDim(v[0], v[1])));
+      },
+      {Tensor::Randn({2, 3, 4}, rng), Tensor::Randn({4, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MatMulNodeDim) {
+  Rng rng(9);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(MatMulNodeDim(v[0], v[1])));
+      },
+      {Tensor::Randn({2, 4}, rng), Tensor::Randn({3, 4, 2}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, SoftmaxLastDim) {
+  Rng rng(10);
+  Tensor probe = Tensor::Randn({3, 4}, rng);
+  auto r = CheckGradients(
+      [probe](std::vector<Variable>& v) {
+        return SumAll(Mul(SoftmaxLastDim(v[0]), Constant(probe)));
+      },
+      {Tensor::Randn({3, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, LayerNorm) {
+  Rng rng(11);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(LayerNormLastDim(v[0], v[1], v[2])));
+      },
+      {Tensor::Randn({3, 5}, rng), Tensor::Randn({5}, rng),
+       Tensor::Randn({5}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, PermuteReshapeConcatSlice) {
+  Rng rng(12);
+  Tensor probe = Tensor::Randn({4, 2, 3}, rng);
+  auto r = CheckGradients(
+      [probe](std::vector<Variable>& v) {
+        Variable p = Permute(v[0], {2, 0, 1});       // (2,3,4) -> (4,2,3)
+        Variable c = Concat({p, Constant(probe)}, 0);  // (8,2,3)
+        Variable s = SliceAxis(c, 0, 1, 5);
+        return SumAll(Square(Reshape(s, {5, 6})));
+      },
+      {Tensor::Randn({2, 3, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, AxisReductions) {
+  Rng rng(13);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        Variable m = MeanAxisKeepdim(v[0], 1);
+        Variable s = SumAxisKeepdim(Square(Sub(v[0], m)), 0);
+        return MeanAll(s);
+      },
+      {Tensor::Randn({3, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MaskedMse) {
+  Rng rng(14);
+  Tensor target = Tensor::Randn({2, 3}, rng);
+  Tensor mask({2, 3}, {1, 0, 1, 1, 0, 1});
+  auto r = CheckGradients(
+      [target, mask](std::vector<Variable>& v) {
+        return MaskedMse(v[0], target, mask);
+      },
+      {Tensor::Randn({2, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// Attention-shaped composite: the exact computation pattern PriSTI uses for
+// prior-conditioned attention (Q/K from one stream, V from another).
+TEST(GradCheck, AttentionComposite) {
+  Rng rng(15);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        Variable q = MatMulLastDim(v[0], v[2]);
+        Variable k = MatMulLastDim(v[0], v[3]);
+        Variable val = MatMulLastDim(v[1], v[4]);
+        Variable scores =
+            MulScalar(BatchedMatMul(q, TransposeLast2(k)), 1.0f / 2.0f);
+        Variable attn = SoftmaxLastDim(scores);
+        return SumAll(Square(BatchedMatMul(attn, val)));
+      },
+      {Tensor::Randn({2, 3, 4}, rng), Tensor::Randn({2, 3, 4}, rng),
+       Tensor::Randn({4, 4}, rng), Tensor::Randn({4, 4}, rng),
+       Tensor::Randn({4, 4}, rng)},
+      /*epsilon=*/1e-2f, /*atol=*/5e-2f, /*rtol=*/8e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace pristi::autograd

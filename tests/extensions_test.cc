@@ -1,0 +1,311 @@
+// Tests for the scalability/robustness extensions: sparse CSR message
+// passing (numerically identical to dense), ParallelFor, EMA weights, the
+// MNAR injector, and the MRE metric.
+
+#include <atomic>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "common/parallel.h"
+#include "data/dataset.h"
+#include "data/missing.h"
+#include "graph/adjacency.h"
+#include "graph/sparse.h"
+#include "metrics/metrics.h"
+#include "nn/ema.h"
+#include "nn/graph_conv.h"
+#include "nn/optimizer.h"
+
+namespace pristi {
+namespace {
+
+namespace ag = ::pristi::autograd;
+namespace t = ::pristi::tensor;
+using t::Tensor;
+
+// ---------------------------------------------------------------------------
+// Sparse CSR
+// ---------------------------------------------------------------------------
+
+TEST(SparseCsr, DenseRoundTrip) {
+  Rng rng(1);
+  Tensor dense = Tensor::Randn({6, 6}, rng);
+  // Sparsify ~half the entries.
+  for (int64_t i = 0; i < dense.numel(); i += 2) dense[i] = 0.0f;
+  graph::CsrMatrix csr = graph::CsrMatrix::FromDense(dense);
+  EXPECT_TRUE(t::AllClose(csr.ToDense(), dense, 0.0f, 0.0f));
+  EXPECT_EQ(csr.nnz(), 18);
+  EXPECT_NEAR(csr.density(), 0.5, 1e-9);
+}
+
+TEST(SparseCsr, MatMulNodeDimMatchesDense) {
+  Rng rng(2);
+  graph::SensorGraph graph = graph::BuildSensorGraph(12, rng);
+  Tensor transition = graph::TransitionMatrix(graph.adjacency);
+  graph::CsrMatrix csr = graph::CsrMatrix::FromDense(transition);
+  Tensor x = Tensor::Randn({3, 12, 5}, rng);
+  Tensor dense_out = t::MatMulNodeDim(transition, x);
+  Tensor sparse_out = csr.MatMulNodeDim(x);
+  EXPECT_TRUE(t::AllClose(sparse_out, dense_out, 1e-5f, 1e-5f));
+}
+
+TEST(SparseCsr, TransposedProductMatchesDense) {
+  Rng rng(3);
+  graph::SensorGraph graph = graph::BuildSensorGraph(9, rng);
+  Tensor transition = graph::TransitionMatrix(graph.adjacency);
+  graph::CsrMatrix csr = graph::CsrMatrix::FromDense(transition);
+  Tensor x = Tensor::Randn({2, 9, 4}, rng);
+  Tensor dense_out = t::MatMulNodeDim(t::TransposeLast2(transition), x);
+  Tensor sparse_out = csr.TransposedMatMulNodeDim(x);
+  EXPECT_TRUE(t::AllClose(sparse_out, dense_out, 1e-5f, 1e-5f));
+}
+
+TEST(SparseCsr, GraphConvSparseMatchesDenseForwardAndGrads) {
+  Rng rng_dense(7), rng_sparse(7);  // identical initialization
+  auto supports = [&] {
+    Rng g(4);
+    return graph::BidirectionalTransitions(
+        graph::BuildSensorGraph(8, g).adjacency);
+  };
+  nn::GraphConv dense(3, 5, supports(), rng_dense, 2, /*adaptive_rank=*/0,
+                      /*num_nodes=*/8, /*use_sparse=*/false);
+  nn::GraphConv sparse(3, 5, supports(), rng_sparse, 2, 0, 8,
+                       /*use_sparse=*/true);
+  Rng data_rng(5);
+  Tensor x = Tensor::Randn({2, 8, 3}, data_rng);
+  auto out_dense = dense.Forward(ag::Constant(x));
+  auto out_sparse = sparse.Forward(ag::Constant(x));
+  EXPECT_TRUE(
+      t::AllClose(out_dense.value(), out_sparse.value(), 1e-4f, 1e-4f));
+  // Gradients through the sparse path must match too.
+  ag::SumAll(ag::Square(out_dense)).Backward();
+  ag::SumAll(ag::Square(out_sparse)).Backward();
+  auto dense_params = dense.NamedParameters();
+  auto sparse_params = sparse.NamedParameters();
+  ASSERT_EQ(dense_params.size(), sparse_params.size());
+  for (size_t i = 0; i < dense_params.size(); ++i) {
+    EXPECT_TRUE(t::AllClose(dense_params[i].second.grad(),
+                            sparse_params[i].second.grad(), 1e-3f, 1e-3f))
+        << dense_params[i].first;
+  }
+}
+
+TEST(SparseCsr, GradientFlowsThroughSparseInput) {
+  Rng rng(6);
+  Tensor transition = graph::TransitionMatrix(
+      graph::BuildSensorGraph(6, rng).adjacency);
+  auto csr = std::make_shared<graph::CsrMatrix>(
+      graph::CsrMatrix::FromDense(transition));
+  auto r = ag::CheckGradients(
+      [&](std::vector<ag::Variable>& v) {
+        Tensor value = csr->MatMulNodeDim(v[0].value());
+        auto node = v[0].node();
+        ag::Variable y = ag::MakeCustomOp(
+            std::move(value), {v[0]}, [csr, node](const Tensor& g) {
+              node->AccumulateGrad(csr->TransposedMatMulNodeDim(g));
+            });
+        return ag::SumAll(ag::Square(y));
+      },
+      {Tensor::Randn({2, 6, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// ParallelFor
+// ---------------------------------------------------------------------------
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(0, 100, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  bool called = false;
+  ParallelFor(5, 5, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, RespectsMinChunk) {
+  // With min_chunk == range size, at most one invocation happens.
+  std::atomic<int> calls{0};
+  ParallelFor(
+      0, 10, [&](int64_t, int64_t) { calls++; }, /*min_chunk=*/10);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// EMA
+// ---------------------------------------------------------------------------
+
+TEST(EmaTest, ShadowTracksParameterDrift) {
+  ag::Variable w(Tensor::Zeros({2}), /*requires_grad=*/true);
+  nn::EmaWeights ema({w}, 0.5f);
+  w.mutable_value() = Tensor({2}, {1.0f, 1.0f});
+  ema.Update();  // shadow = 0.5*0 + 0.5*1 = 0.5
+  ema.ApplyShadow();
+  EXPECT_FLOAT_EQ(w.value()[0], 0.5f);
+  ema.Restore();
+  EXPECT_FLOAT_EQ(w.value()[0], 1.0f);
+}
+
+TEST(EmaTest, ConvergesToConstantWeights) {
+  ag::Variable w(Tensor::Full({3}, 2.0f), true);
+  nn::EmaWeights ema({w}, 0.9f);
+  for (int i = 0; i < 200; ++i) ema.Update();
+  ema.ApplyShadow();
+  EXPECT_NEAR(w.value()[0], 2.0f, 1e-4f);
+  ema.Restore();
+}
+
+TEST(EmaTest, SmoothsOptimizerNoise) {
+  // Noisy quadratic descent: EMA weights should sit closer to the optimum
+  // than the raw final iterate on average.
+  Rng rng(8);
+  ag::Variable x(Tensor::Zeros({1}), true);
+  nn::Adam opt({x}, {.lr = 0.2f});
+  nn::EmaWeights ema({x}, 0.98f);
+  for (int iter = 0; iter < 400; ++iter) {
+    opt.ZeroGrad();
+    float noise = static_cast<float>(rng.Normal(0, 0.5));
+    ag::Variable loss = ag::Square(
+        ag::AddScalar(x, -(3.0f + noise)));  // noisy target around 3
+    ag::SumAll(loss).Backward();
+    opt.Step();
+    ema.Update();
+  }
+  float raw = std::fabs(x.value()[0] - 3.0f);
+  ema.ApplyShadow();
+  float smoothed = std::fabs(x.value()[0] - 3.0f);
+  ema.Restore();
+  EXPECT_LT(smoothed, raw + 0.25f);  // EMA no worse (usually much better)
+}
+
+// ---------------------------------------------------------------------------
+// MNAR injector
+// ---------------------------------------------------------------------------
+
+TEST(MnarInjector, BiasesTowardHighValues) {
+  Rng rng(9);
+  auto dataset = data::GenerateSynthetic(data::Aqi36LikeConfig(10, 600), rng);
+  Tensor eval = data::InjectValueDependentMissing(
+      dataset.values, dataset.observed_mask, 0.25, 1.5, rng);
+  // Mean value of withheld entries must exceed the mean of retained ones.
+  double withheld_sum = 0, retained_sum = 0;
+  int64_t withheld_count = 0, retained_count = 0;
+  for (int64_t i = 0; i < eval.numel(); ++i) {
+    if (dataset.observed_mask[i] < 0.5f) continue;
+    if (eval[i] > 0.5f) {
+      withheld_sum += dataset.values[i];
+      ++withheld_count;
+    } else {
+      retained_sum += dataset.values[i];
+      ++retained_count;
+    }
+  }
+  ASSERT_GT(withheld_count, 0);
+  ASSERT_GT(retained_count, 0);
+  EXPECT_GT(withheld_sum / withheld_count, retained_sum / retained_count);
+}
+
+TEST(MnarInjector, ZeroSeverityMatchesRate) {
+  Rng rng(10);
+  auto dataset = data::GenerateSynthetic(data::Aqi36LikeConfig(10, 600), rng);
+  Tensor eval = data::InjectValueDependentMissing(
+      dataset.values, dataset.observed_mask, 0.3, 0.0, rng);
+  double withheld = data::MaskRate(eval) /
+                    data::MaskRate(dataset.observed_mask);
+  EXPECT_NEAR(withheld, 0.3, 0.04);
+}
+
+TEST(MnarInjector, SubsetOfObserved) {
+  Rng rng(11);
+  auto dataset = data::GenerateSynthetic(data::Aqi36LikeConfig(8, 400), rng);
+  Tensor eval = data::InjectValueDependentMissing(
+      dataset.values, dataset.observed_mask, 0.2, 1.0, rng);
+  EXPECT_NEAR(data::MaskOverlap(eval, dataset.observed_mask), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// MRE
+// ---------------------------------------------------------------------------
+
+TEST(MreMetric, HandComputed) {
+  metrics::ErrorAccumulator acc;
+  acc.Add(Tensor({2}, {11.0f, 18.0f}), Tensor({2}, {10.0f, 20.0f}),
+          Tensor::Ones({2}));
+  EXPECT_NEAR(acc.Mre(), (1.0 + 2.0) / 30.0, 1e-9);
+}
+
+TEST(MreMetric, ZeroTruthGivesZero) {
+  metrics::ErrorAccumulator acc;
+  acc.Add(Tensor({1}, {5.0f}), Tensor::Zeros({1}), Tensor::Ones({1}));
+  EXPECT_EQ(acc.Mre(), 0.0);
+}
+
+}  // namespace
+}  // namespace pristi
+
+// ---------------------------------------------------------------------------
+// Clamp / Where / Stack ops
+// ---------------------------------------------------------------------------
+
+namespace pristi {
+namespace {
+
+namespace ag2 = ::pristi::autograd;
+namespace t2 = ::pristi::tensor;
+using t2::Tensor;
+
+TEST(ClampOp, ValuesAndGradient) {
+  Tensor x({5}, {-2.0f, -0.5f, 0.0f, 0.5f, 2.0f});
+  Tensor clamped = t2::Clamp(x, -1.0f, 1.0f);
+  EXPECT_TRUE(t2::AllClose(clamped, Tensor({5}, {-1, -0.5, 0, 0.5, 1})));
+  // Gradient: pass-through inside, zero outside.
+  ag2::Variable v(x, true);
+  ag2::SumAll(ag2::Clamp(v, -1.0f, 1.0f)).Backward();
+  EXPECT_TRUE(t2::AllClose(v.grad(), Tensor({5}, {0, 1, 1, 1, 0})));
+}
+
+TEST(WhereOp, SelectsAndRoutesGradient) {
+  Tensor cond({4}, {1, 0, 1, 0});
+  ag2::Variable a(Tensor({4}, {10, 20, 30, 40}), true);
+  ag2::Variable b(Tensor({4}, {1, 2, 3, 4}), true);
+  ag2::Variable y = ag2::Where(cond, a, b);
+  EXPECT_TRUE(t2::AllClose(y.value(), Tensor({4}, {10, 2, 30, 4})));
+  ag2::SumAll(y).Backward();
+  EXPECT_TRUE(t2::AllClose(a.grad(), Tensor({4}, {1, 0, 1, 0})));
+  EXPECT_TRUE(t2::AllClose(b.grad(), Tensor({4}, {0, 1, 0, 1})));
+}
+
+TEST(StackOp, AddsLeadingAxis) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({2, 3}, {7, 8, 9, 10, 11, 12});
+  Tensor stacked = t2::Stack({a, b});
+  EXPECT_EQ(stacked.shape(), (t2::Shape{2, 2, 3}));
+  EXPECT_FLOAT_EQ(stacked.at({0, 1, 2}), 6.0f);
+  EXPECT_FLOAT_EQ(stacked.at({1, 0, 0}), 7.0f);
+}
+
+TEST(ClampOp, GradCheckAwayFromBoundaries) {
+  Rng rng(31);
+  Tensor x = Tensor::Randn({6}, rng);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    // keep inputs away from the clamp kinks for finite differences
+    if (std::fabs(std::fabs(x[i]) - 1.0f) < 0.1f) x[i] = 0.5f;
+  }
+  auto r = ag2::CheckGradients(
+      [](std::vector<ag2::Variable>& v) {
+        return ag2::SumAll(ag2::Square(ag2::Clamp(v[0], -1.0f, 1.0f)));
+      },
+      {x});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace pristi

@@ -1,0 +1,481 @@
+// Unit and property tests for the dense tensor substrate.
+
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pristi::tensor {
+namespace {
+
+TEST(TensorBasics, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.ndim(), 1);
+}
+
+TEST(TensorBasics, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.dim(-1), 3);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorBasics, ScalarHasRankZero) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_FLOAT_EQ(s[0], 2.5f);
+}
+
+TEST(TensorBasics, AtRowMajorLayout) {
+  Tensor t = Tensor::Arange(6).Reshaped({2, 3});
+  EXPECT_FLOAT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(t.at({0, 2}), 2.0f);
+  EXPECT_FLOAT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 5.0f);
+  t.at({1, 1}) = 42.0f;
+  EXPECT_FLOAT_EQ(t[4], 42.0f);
+}
+
+TEST(TensorBasics, FullAndFill) {
+  Tensor t = Tensor::Full({4}, 7.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t[i], 7.0f);
+  t.Fill(-1.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t[i], -1.0f);
+}
+
+TEST(TensorBasics, RandnIsSeededDeterministic) {
+  Rng rng1(123), rng2(123);
+  Tensor a = Tensor::Randn({16}, rng1);
+  Tensor b = Tensor::Randn({16}, rng2);
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+TEST(TensorBasics, RandnRoughlyStandard) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({20000}, rng);
+  float mean = MeanAll(a);
+  float var = MeanAll(Square(AddScalar(a, -mean)));
+  EXPECT_NEAR(mean, 0.0f, 0.05f);
+  EXPECT_NEAR(var, 1.0f, 0.05f);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise and broadcasting
+// ---------------------------------------------------------------------------
+
+TEST(Broadcast, SameShape) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {10, 20, 30, 40});
+  Tensor c = Add(a, b);
+  EXPECT_TRUE(AllClose(c, Tensor({2, 2}, {11, 22, 33, 44})));
+}
+
+TEST(Broadcast, RowVector) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row({1, 3}, {10, 20, 30});
+  Tensor c = Add(a, row);
+  EXPECT_TRUE(AllClose(c, Tensor({2, 3}, {11, 22, 33, 14, 25, 36})));
+}
+
+TEST(Broadcast, ColumnVector) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor col({2, 1}, {100, 200});
+  Tensor c = Add(a, col);
+  EXPECT_TRUE(AllClose(c, Tensor({2, 3}, {101, 102, 103, 204, 205, 206})));
+}
+
+TEST(Broadcast, TrailingAlignment) {
+  // (2,2,2) + (2,) broadcasts over the last axis.
+  Tensor a = Tensor::Ones({2, 2, 2});
+  Tensor b({2}, {1, 2});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2, 2}));
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+  EXPECT_FLOAT_EQ(c[1], 3.0f);
+}
+
+TEST(Broadcast, ShapeComputation) {
+  EXPECT_EQ(BroadcastShape({2, 1, 3}, {4, 3}), (Shape{2, 4, 3}));
+  EXPECT_EQ(BroadcastShape({}, {2, 2}), (Shape{2, 2}));
+}
+
+TEST(Broadcast, SumToShapeInvertsBroadcast) {
+  Tensor g = Tensor::Ones({2, 4, 3});
+  Tensor reduced = SumToShape(g, {4, 3});
+  EXPECT_EQ(reduced.shape(), (Shape{4, 3}));
+  EXPECT_FLOAT_EQ(reduced[0], 2.0f);
+  Tensor reduced2 = SumToShape(g, {2, 1, 3});
+  EXPECT_EQ(reduced2.shape(), (Shape{2, 1, 3}));
+  EXPECT_FLOAT_EQ(reduced2[0], 4.0f);
+}
+
+TEST(Elementwise, SubMulDiv) {
+  Tensor a({3}, {4, 9, 16});
+  Tensor b({3}, {2, 3, 4});
+  EXPECT_TRUE(AllClose(Sub(a, b), Tensor({3}, {2, 6, 12})));
+  EXPECT_TRUE(AllClose(Mul(a, b), Tensor({3}, {8, 27, 64})));
+  EXPECT_TRUE(AllClose(Div(a, b), Tensor({3}, {2, 3, 4})));
+}
+
+TEST(Elementwise, UnaryOps) {
+  Tensor a({3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_TRUE(AllClose(Relu(a), Tensor({3}, {0, 0, 2})));
+  EXPECT_TRUE(AllClose(Neg(a), Tensor({3}, {1, 0, -2})));
+  EXPECT_TRUE(AllClose(Abs(a), Tensor({3}, {1, 0, 2})));
+  EXPECT_TRUE(AllClose(Square(a), Tensor({3}, {1, 0, 4})));
+  Tensor e = Exp(a);
+  EXPECT_NEAR(e[0], std::exp(-1.0f), 1e-6f);
+  EXPECT_NEAR(e[2], std::exp(2.0f), 1e-5f);
+  Tensor s = Sigmoid(Tensor({1}, {0.0f}));
+  EXPECT_NEAR(s[0], 0.5f, 1e-6f);
+  Tensor sq = Sqrt(Tensor({2}, {4.0f, 9.0f}));
+  EXPECT_TRUE(AllClose(sq, Tensor({2}, {2, 3})));
+}
+
+// ---------------------------------------------------------------------------
+// Matrix products
+// ---------------------------------------------------------------------------
+
+TEST(MatMulOps, TwoByTwo) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  EXPECT_TRUE(AllClose(MatMul(a, b), Tensor({2, 2}, {19, 22, 43, 50})));
+}
+
+TEST(MatMulOps, RectangularAgainstHandComputed) {
+  Tensor a({2, 3}, {1, 0, 2, -1, 3, 1});
+  Tensor b({3, 2}, {3, 1, 2, 1, 1, 0});
+  EXPECT_TRUE(AllClose(MatMul(a, b), Tensor({2, 2}, {5, 1, 4, 2})));
+}
+
+TEST(MatMulOps, IdentityIsNoOp) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({5, 5}, rng);
+  Tensor eye = Tensor::Zeros({5, 5});
+  for (int64_t i = 0; i < 5; ++i) eye.at({i, i}) = 1.0f;
+  EXPECT_TRUE(AllClose(MatMul(a, eye), a, 1e-5f));
+  EXPECT_TRUE(AllClose(MatMul(eye, a), a, 1e-5f));
+}
+
+TEST(MatMulOps, BatchedMatchesLoopOfMatMul) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({3, 2, 4}, rng);
+  Tensor b = Tensor::Randn({3, 4, 5}, rng);
+  Tensor c = BatchedMatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 2, 5}));
+  for (int64_t bi = 0; bi < 3; ++bi) {
+    Tensor ai = SliceAxis(a, 0, bi, 1).Reshaped({2, 4});
+    Tensor bi_t = SliceAxis(b, 0, bi, 1).Reshaped({4, 5});
+    Tensor ci = SliceAxis(c, 0, bi, 1).Reshaped({2, 5});
+    EXPECT_TRUE(AllClose(ci, MatMul(ai, bi_t), 1e-4f));
+  }
+}
+
+TEST(MatMulOps, MatMulLastDimEqualsFlattenedMatMul) {
+  Rng rng(3);
+  Tensor x = Tensor::Randn({2, 3, 4}, rng);
+  Tensor w = Tensor::Randn({4, 6}, rng);
+  Tensor y = MatMulLastDim(x, w);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 6}));
+  Tensor y2 = MatMul(x.Reshaped({6, 4}), w);
+  EXPECT_TRUE(AllClose(y, y2.Reshaped({2, 3, 6}), 1e-4f));
+}
+
+TEST(MatMulOps, MatMulNodeDimAppliesToSecondToLastAxis) {
+  // p is (2,3): maps 3 "nodes" to 2; x is (batch=2, nodes=3, d=2).
+  Tensor p({2, 3}, {1, 0, 0, 0, 1, 1});
+  Tensor x({2, 3, 2}, {1, 2, 3, 4, 5, 6,
+                       7, 8, 9, 10, 11, 12});
+  Tensor y = MatMulNodeDim(p, x);
+  EXPECT_EQ(y.shape(), (Shape{2, 2, 2}));
+  // First batch: row0 = node0 = (1,2); row1 = node1+node2 = (8,10).
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 1}), 2.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0}), 8.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 1}), 10.0f);
+  // Second batch: row1 = (9+11, 10+12).
+  EXPECT_FLOAT_EQ(y.at({1, 1, 0}), 20.0f);
+  EXPECT_FLOAT_EQ(y.at({1, 1, 1}), 22.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+TEST(Reductions, SumMeanMaxMin) {
+  Tensor a({4}, {1, -2, 3, 6});
+  EXPECT_FLOAT_EQ(SumAll(a), 8.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a), 2.0f);
+  EXPECT_FLOAT_EQ(MaxAll(a), 6.0f);
+  EXPECT_FLOAT_EQ(MinAll(a), -2.0f);
+}
+
+TEST(Reductions, SumAxis) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor rows = SumAxis(a, 1);
+  EXPECT_EQ(rows.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(rows[0], 6.0f);
+  EXPECT_FLOAT_EQ(rows[1], 15.0f);
+  Tensor cols = SumAxis(a, 0, /*keepdim=*/true);
+  EXPECT_EQ(cols.shape(), (Shape{1, 3}));
+  EXPECT_FLOAT_EQ(cols[0], 5.0f);
+  EXPECT_FLOAT_EQ(cols[2], 9.0f);
+  Tensor mean_rows = MeanAxis(a, -1);
+  EXPECT_FLOAT_EQ(mean_rows[0], 2.0f);
+  EXPECT_FLOAT_EQ(mean_rows[1], 5.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Shape manipulation
+// ---------------------------------------------------------------------------
+
+TEST(ShapeOps, PermuteTransposes2D) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor at = Permute(a, {1, 0});
+  EXPECT_EQ(at.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(at.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(at.at({0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(at.at({2, 1}), 6.0f);
+}
+
+TEST(ShapeOps, PermuteRoundTrips3D) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({2, 3, 4}, rng);
+  Tensor p = Permute(a, {2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  Tensor back = Permute(p, {1, 2, 0});
+  EXPECT_TRUE(AllClose(back, a));
+}
+
+TEST(ShapeOps, PermutePreservesEntries4D) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({2, 3, 4, 5}, rng);
+  Tensor p = Permute(a, {0, 2, 1, 3});
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      for (int64_t k = 0; k < 4; ++k) {
+        for (int64_t l = 0; l < 5; ++l) {
+          EXPECT_FLOAT_EQ(p.at({i, k, j, l}), a.at({i, j, k, l}));
+        }
+      }
+    }
+  }
+}
+
+TEST(ShapeOps, ConcatAlongEachAxis) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor rows = Concat({a, b}, 0);
+  EXPECT_EQ(rows.shape(), (Shape{4, 2}));
+  EXPECT_FLOAT_EQ(rows.at({2, 0}), 5.0f);
+  Tensor cols = Concat({a, b}, 1);
+  EXPECT_EQ(cols.shape(), (Shape{2, 4}));
+  EXPECT_TRUE(AllClose(cols, Tensor({2, 4}, {1, 2, 5, 6, 3, 4, 7, 8})));
+  Tensor neg = Concat({a, b}, -1);
+  EXPECT_TRUE(AllClose(neg, cols));
+}
+
+TEST(ShapeOps, SliceInvertseConcat) {
+  Rng rng(8);
+  Tensor a = Tensor::Randn({2, 3}, rng);
+  Tensor b = Tensor::Randn({2, 5}, rng);
+  Tensor cat = Concat({a, b}, 1);
+  EXPECT_TRUE(AllClose(SliceAxis(cat, 1, 0, 3), a));
+  EXPECT_TRUE(AllClose(SliceAxis(cat, 1, 3, 5), b));
+}
+
+TEST(ShapeOps, TransposeLast2OnBatch) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn({2, 3, 4}, rng);
+  Tensor at = TransposeLast2(a);
+  EXPECT_EQ(at.shape(), (Shape{2, 4, 3}));
+  EXPECT_FLOAT_EQ(at.at({1, 2, 1}), a.at({1, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Softmax
+// ---------------------------------------------------------------------------
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(10);
+  Tensor a = Tensor::Randn({7, 5}, rng);
+  Tensor s = SoftmaxLastDim(a);
+  for (int64_t r = 0; r < 7; ++r) {
+    float sum = 0;
+    for (int64_t c = 0; c < 5; ++c) sum += s.at({r, c});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Softmax, KnownValues) {
+  Tensor a({1, 2}, {0.0f, 0.0f});
+  Tensor s = SoftmaxLastDim(a);
+  EXPECT_NEAR(s[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(s[1], 0.5f, 1e-6f);
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  Tensor a({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor s = SoftmaxLastDim(a);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(s[i], 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn({4, 6}, rng);
+  Tensor shifted = AddScalar(a, 5.0f);
+  EXPECT_TRUE(AllClose(SoftmaxLastDim(a), SoftmaxLastDim(shifted), 1e-5f));
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(Serialization, RoundTrip) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn({3, 4, 2}, rng);
+  std::stringstream buf;
+  WriteTensor(buf, a);
+  Tensor b = ReadTensor(buf);
+  EXPECT_TRUE(AllClose(a, b, 0.0f, 0.0f));
+}
+
+TEST(Serialization, ScalarRoundTrip) {
+  Tensor a = Tensor::Scalar(-3.5f);
+  std::stringstream buf;
+  WriteTensor(buf, a);
+  Tensor b = ReadTensor(buf);
+  EXPECT_EQ(b.ndim(), 0);
+  EXPECT_FLOAT_EQ(b[0], -3.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized property sweep: matmul distributes over addition for a
+// variety of shapes (exercises the accumulate kernel broadly).
+// ---------------------------------------------------------------------------
+
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, DistributesOverAddition) {
+  auto [m, k, n] = GetParam();
+  Rng rng(100 + m * 7 + k * 3 + n);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  Tensor c = Tensor::Randn({k, n}, rng);
+  Tensor lhs = MatMul(a, Add(b, c));
+  Tensor rhs = Add(MatMul(a, b), MatMul(a, c));
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-3f, 1e-3f))
+      << "m=" << m << " k=" << k << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 1, 7), std::make_tuple(8, 8, 8),
+                      std::make_tuple(16, 4, 2), std::make_tuple(3, 17, 5),
+                      std::make_tuple(32, 32, 32)));
+
+// Broadcasting equivalence property across shape pairs.
+class BroadcastPairTest
+    : public ::testing::TestWithParam<std::pair<Shape, Shape>> {};
+
+TEST_P(BroadcastPairTest, MulCommutes) {
+  auto [sa, sb] = GetParam();
+  Rng rng(55);
+  Tensor a = Tensor::Randn(sa, rng);
+  Tensor b = Tensor::Randn(sb, rng);
+  EXPECT_TRUE(AllClose(Mul(a, b), Mul(b, a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, BroadcastPairTest,
+    ::testing::Values(std::make_pair(Shape{2, 3}, Shape{3}),
+                      std::make_pair(Shape{4, 1, 2}, Shape{1, 5, 2}),
+                      std::make_pair(Shape{6}, Shape{1}),
+                      std::make_pair(Shape{2, 2, 2}, Shape{2, 2, 2}),
+                      std::make_pair(Shape{3, 1}, Shape{1, 4})));
+
+}  // namespace
+}  // namespace pristi::tensor
+
+namespace pristi::tensor {
+namespace {
+
+// Serialization round-trips across ranks 0-4 (parameterized sweep).
+class SerializationShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SerializationShapeTest, RoundTrip) {
+  Rng rng(101);
+  Tensor a = Tensor::Randn(GetParam(), rng);
+  std::stringstream buffer;
+  WriteTensor(buffer, a);
+  Tensor b = ReadTensor(buffer);
+  EXPECT_TRUE(AllClose(a, b, 0.0f, 0.0f));
+  EXPECT_EQ(a.shape(), b.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SerializationShapeTest,
+                         ::testing::Values(Shape{}, Shape{7}, Shape{3, 4},
+                                           Shape{2, 3, 4},
+                                           Shape{2, 2, 3, 2}));
+
+// Permute composition property: applying a permutation then its inverse is
+// the identity for every 3-axis permutation.
+class PermuteInverseTest
+    : public ::testing::TestWithParam<std::vector<int64_t>> {};
+
+TEST_P(PermuteInverseTest, InverseRestores) {
+  Rng rng(102);
+  Tensor a = Tensor::Randn({3, 4, 5}, rng);
+  const auto& perm = GetParam();
+  std::vector<int64_t> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    inverse[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
+  }
+  EXPECT_TRUE(AllClose(Permute(Permute(a, perm), inverse), a, 0.0f, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPerms, PermuteInverseTest,
+    ::testing::Values(std::vector<int64_t>{0, 1, 2},
+                      std::vector<int64_t>{0, 2, 1},
+                      std::vector<int64_t>{1, 0, 2},
+                      std::vector<int64_t>{1, 2, 0},
+                      std::vector<int64_t>{2, 0, 1},
+                      std::vector<int64_t>{2, 1, 0}));
+
+TEST(WhereTensor, MatchesManualSelect) {
+  Rng rng(103);
+  Tensor cond({4}, {1, 0, 0, 1});
+  Tensor a = Tensor::Randn({4}, rng);
+  Tensor b = Tensor::Randn({4}, rng);
+  Tensor out = Where(cond, a, b);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(out[i], cond[i] > 0.5f ? a[i] : b[i]);
+  }
+}
+
+TEST(ClampTensor, BoundsRespected) {
+  Rng rng(104);
+  Tensor a = Tensor::Randn({64}, rng);
+  Tensor clamped = Clamp(a, -0.5f, 0.5f);
+  EXPECT_GE(MinAll(clamped), -0.5f);
+  EXPECT_LE(MaxAll(clamped), 0.5f);
+  // Interior values untouched.
+  for (int64_t i = 0; i < 64; ++i) {
+    if (a[i] > -0.5f && a[i] < 0.5f) EXPECT_FLOAT_EQ(clamped[i], a[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pristi::tensor

@@ -1,0 +1,300 @@
+// pristi_cli — command-line driver for the library, the entry point a
+// downstream user scripts against.
+//
+//   pristi_cli generate --preset=aqi --nodes=36 --steps=2160 --out=data.bin
+//   pristi_cli train    --data=data.bin --pattern=failure --epochs=60
+//       ... --model-out=pristi.ckpt
+//   pristi_cli impute   --data=data.bin --pattern=failure
+//       ... --model=pristi.ckpt --out=imputed.csv
+//   pristi_cli evaluate --data=data.bin --pattern=point --method=pristi
+//
+// All subcommands accept --seed, --window, --stride; train/impute share the
+// model knobs (--channels --heads --layers --virtual-nodes --steps-diffusion).
+// `evaluate --method=` also accepts the classic baselines (mean, da, knn,
+// lin-itp, kf, mice, var, trmf, batf, stmvl, brits, grin, csdi).
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "baselines/factorization.h"
+#include "baselines/kalman.h"
+#include "baselines/regression.h"
+#include "baselines/rnn.h"
+#include "baselines/simple.h"
+#include "baselines/stmvl.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "data/io.h"
+#include "eval/harness.h"
+
+namespace pristi {
+namespace {
+
+data::SpatioTemporalDataset LoadOrGenerate(const Flags& flags, Rng& rng) {
+  std::string path = flags.GetString("data");
+  if (!path.empty()) {
+    auto dataset = data::ReadBinaryDataset(path);
+    CHECK_GT(dataset.num_steps, 0) << "failed to load " << path;
+    return dataset;
+  }
+  PRISTI_LOG_WARNING << "--data not given; generating a default dataset";
+  return data::GenerateSynthetic(data::Aqi36LikeConfig(16, 720), rng);
+}
+
+data::MissingPattern PatternFromFlag(const std::string& name) {
+  if (name == "point") return data::MissingPattern::kPoint;
+  if (name == "block") return data::MissingPattern::kBlock;
+  if (name == "failure" || name == "simulated_failure") {
+    return data::MissingPattern::kSimulatedFailure;
+  }
+  PRISTI_LOG_FATAL << "unknown --pattern " << name
+                   << " (point|block|failure)";
+  return data::MissingPattern::kPoint;
+}
+
+core::PristiConfig ModelConfig(const Flags& flags,
+                               const data::ImputationTask& task) {
+  core::PristiConfig config;
+  config.num_nodes = task.dataset.num_nodes;
+  config.window_len = task.window_len;
+  config.channels = flags.GetInt("channels", 16);
+  config.heads = flags.GetInt("heads", 4);
+  config.layers = flags.GetInt("layers", 2);
+  config.virtual_nodes = flags.GetInt(
+      "virtual-nodes", std::min<int64_t>(8, task.dataset.num_nodes / 2));
+  config.diffusion_emb_dim = flags.GetInt("diff-emb", 32);
+  config.temporal_emb_dim = flags.GetInt("temporal-emb", 32);
+  config.node_emb_dim = flags.GetInt("node-emb", 16);
+  config.adaptive_rank = flags.GetInt("adaptive-rank", 6);
+  return config;
+}
+
+eval::DiffusionRunOptions RunOptions(const Flags& flags,
+                                     const data::ImputationTask& task) {
+  eval::DiffusionRunOptions options;
+  options.diffusion_steps = flags.GetInt("steps-diffusion", 30);
+  options.train.epochs = flags.GetInt("epochs", 40);
+  options.train.batch_size = flags.GetInt("batch", 8);
+  options.train.lr = static_cast<float>(flags.GetDouble("lr", 2e-3));
+  options.train.high_t_bias = flags.GetDouble("high-t-bias", 0.5);
+  options.impute.num_samples = flags.GetInt("samples", 15);
+  options.impute.ddim = flags.GetBool("ddim", true);
+  options.impute.ddim_stride = flags.GetInt("ddim-stride", 3);
+  switch (task.pattern) {
+    case data::MissingPattern::kPoint:
+      options.train.mask_strategy = data::MaskStrategy::kPoint;
+      break;
+    case data::MissingPattern::kBlock:
+      options.train.mask_strategy = data::MaskStrategy::kHybrid;
+      break;
+    case data::MissingPattern::kSimulatedFailure:
+      options.train.mask_strategy = data::MaskStrategy::kHybridHistorical;
+      break;
+  }
+  return options;
+}
+
+data::ImputationTask MakeTaskFromFlags(const Flags& flags, Rng& rng) {
+  auto dataset = LoadOrGenerate(flags, rng);
+  data::TaskOptions options;
+  options.window_len = flags.GetInt("window", 16);
+  options.stride = flags.GetInt("stride", 4);
+  return data::MakeTask(std::move(dataset),
+                        PatternFromFlag(flags.GetString("pattern", "point")),
+                        options, rng);
+}
+
+int CmdGenerate(const Flags& flags) {
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  std::string preset = flags.GetString("preset", "aqi");
+  int64_t nodes = flags.GetInt("nodes", 16);
+  int64_t steps = flags.GetInt("steps", 720);
+  data::SyntheticConfig config;
+  if (preset == "aqi") {
+    config = data::Aqi36LikeConfig(nodes, steps);
+  } else if (preset == "metr") {
+    config = data::MetrLaLikeConfig(nodes, steps);
+  } else if (preset == "pems") {
+    config = data::PemsBayLikeConfig(nodes, steps);
+  } else {
+    PRISTI_LOG_FATAL << "unknown --preset " << preset << " (aqi|metr|pems)";
+  }
+  auto dataset = data::GenerateSynthetic(config, rng);
+  std::string out = flags.GetString("out", "dataset.bin");
+  CHECK(data::WriteBinaryDataset(dataset, out)) << "write failed: " << out;
+  std::printf("wrote %s: %lld nodes x %lld steps (%s)\n", out.c_str(),
+              static_cast<long long>(dataset.num_nodes),
+              static_cast<long long>(dataset.num_steps),
+              dataset.name.c_str());
+  std::string csv = flags.GetString("csv");
+  if (!csv.empty()) {
+    CHECK(data::WriteCsvDataset(dataset, csv, flags.GetString("coords")));
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  data::ImputationTask task = MakeTaskFromFlags(flags, rng);
+  core::PristiConfig config = ModelConfig(flags, task);
+  eval::DiffusionRunOptions options = RunOptions(flags, task);
+  options.train.on_epoch = [](int64_t epoch, double loss) {
+    if (epoch % 5 == 0) {
+      std::printf("epoch %3lld  loss %.4f\n", static_cast<long long>(epoch),
+                  loss);
+      std::fflush(stdout);
+    }
+  };
+  auto model = std::make_shared<core::PristiModel>(
+      config, task.dataset.graph.adjacency, rng);
+  auto schedule = diffusion::NoiseSchedule::Quadratic(
+      options.diffusion_steps, options.beta_1, options.beta_end);
+  std::printf("training PriSTI (%lld parameters)...\n",
+              static_cast<long long>(model->ParameterCount()));
+  diffusion::TrainDiffusionModel(model.get(), schedule, task, options.train,
+                                 rng);
+  std::string out = flags.GetString("model-out", "pristi.ckpt");
+  CHECK(model->SaveToFile(out)) << "checkpoint write failed: " << out;
+  std::printf("saved checkpoint to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdImpute(const Flags& flags) {
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  data::ImputationTask task = MakeTaskFromFlags(flags, rng);
+  core::PristiConfig config = ModelConfig(flags, task);
+  eval::DiffusionRunOptions options = RunOptions(flags, task);
+  auto model = std::make_shared<core::PristiModel>(
+      config, task.dataset.graph.adjacency, rng);
+  std::string ckpt = flags.GetString("model");
+  if (!ckpt.empty()) {
+    CHECK(model->LoadFromFile(ckpt)) << "cannot load " << ckpt;
+    std::printf("loaded checkpoint %s\n", ckpt.c_str());
+  } else {
+    PRISTI_LOG_WARNING << "--model not given; imputing with an untrained "
+                          "model (use `train` first)";
+  }
+  eval::DiffusionImputerAdapter adapter("PriSTI", model, options);
+  tensor::Tensor completed = eval::ImputeSeries(&adapter, task, rng);
+  // Write the completed series (no missing cells) as CSV.
+  data::SpatioTemporalDataset out_dataset = task.dataset;
+  out_dataset.values = completed;
+  out_dataset.observed_mask =
+      tensor::Tensor::Ones(completed.shape());
+  std::string out = flags.GetString("out", "imputed.csv");
+  CHECK(data::WriteCsvDataset(out_dataset, out));
+  std::printf("wrote completed series to %s\n", out.c_str());
+  return 0;
+}
+
+std::unique_ptr<baselines::Imputer> MakeBaseline(
+    const std::string& method, const Flags& flags,
+    const data::ImputationTask& task, Rng& rng) {
+  baselines::RecurrentOptions rnn_options;
+  rnn_options.epochs = flags.GetInt("epochs", 15);
+  if (method == "mean") return std::make_unique<baselines::MeanImputer>();
+  if (method == "da") {
+    return std::make_unique<baselines::DailyAverageImputer>();
+  }
+  if (method == "knn") return std::make_unique<baselines::KnnImputer>();
+  if (method == "lin-itp") {
+    return std::make_unique<baselines::LinearInterpImputer>();
+  }
+  if (method == "kf") return std::make_unique<baselines::KalmanImputer>();
+  if (method == "mice") return std::make_unique<baselines::MiceImputer>();
+  if (method == "var") return std::make_unique<baselines::VarImputer>();
+  if (method == "trmf") return std::make_unique<baselines::TrmfImputer>();
+  if (method == "batf") return std::make_unique<baselines::BatfImputer>();
+  if (method == "stmvl") return std::make_unique<baselines::StmvlImputer>();
+  if (method == "brits") {
+    return std::make_unique<baselines::BritsImputer>(task.dataset.num_nodes,
+                                                     rnn_options, rng);
+  }
+  if (method == "grin") {
+    return std::make_unique<baselines::GrinImputer>(
+        task.dataset.num_nodes, task.dataset.graph.adjacency, rnn_options,
+        rng);
+  }
+  return nullptr;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  data::ImputationTask task = MakeTaskFromFlags(flags, rng);
+  std::string method = flags.GetString("method", "pristi");
+  std::unique_ptr<baselines::Imputer> imputer;
+  if (method == "pristi" || method == "csdi") {
+    eval::DiffusionRunOptions options = RunOptions(flags, task);
+    if (method == "pristi") {
+      imputer = eval::MakePristiImputer(ModelConfig(flags, task),
+                                        task.dataset.graph.adjacency,
+                                        options, rng);
+    } else {
+      baselines::CsdiConfig config;
+      config.num_nodes = task.dataset.num_nodes;
+      config.window_len = task.window_len;
+      config.channels = flags.GetInt("channels", 16);
+      config.heads = flags.GetInt("heads", 4);
+      config.layers = flags.GetInt("layers", 2);
+      imputer = eval::MakeCsdiImputer(config, options, rng);
+    }
+  } else {
+    imputer = MakeBaseline(method, flags, task, rng);
+    CHECK(imputer != nullptr) << "unknown --method " << method;
+  }
+  eval::EvaluateOptions eval_options;
+  eval_options.crps_samples = flags.GetInt("crps-samples", 0);
+  eval::MethodResult result =
+      eval::EvaluateImputer(imputer.get(), task, rng, eval_options);
+  std::printf("%s on %s/%s: MAE %.4f  MSE %.4f", result.method.c_str(),
+              task.dataset.name.c_str(),
+              data::MissingPatternName(task.pattern), result.mae,
+              result.mse);
+  if (eval_options.crps_samples > 0) {
+    std::printf("  CRPS %.4f", result.crps);
+  }
+  std::printf("  (fit %.1fs, impute %.1fs)\n", result.fit_seconds,
+              result.impute_seconds);
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "usage: pristi_cli <generate|train|impute|evaluate> [--flags]\n"
+      "  generate --preset=aqi|metr|pems --nodes=N --steps=T --out=F.bin\n"
+      "  train    --data=F.bin --pattern=point|block|failure --epochs=E\n"
+      "           --model-out=F.ckpt\n"
+      "  impute   --data=F.bin --pattern=... --model=F.ckpt --out=F.csv\n"
+      "  evaluate --data=F.bin --pattern=... --method=pristi|csdi|mean|...\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags = Flags::Parse(argc - 1, argv + 1);
+  int status;
+  if (command == "generate") {
+    status = CmdGenerate(flags);
+  } else if (command == "train") {
+    status = CmdTrain(flags);
+  } else if (command == "impute") {
+    status = CmdImpute(flags);
+  } else if (command == "evaluate") {
+    status = CmdEvaluate(flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& key : flags.UnqueriedKeys()) {
+    PRISTI_LOG_WARNING << "unused flag --" << key;
+  }
+  return status;
+}
+
+}  // namespace
+}  // namespace pristi
+
+int main(int argc, char** argv) { return pristi::Main(argc, argv); }
