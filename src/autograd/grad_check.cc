@@ -3,7 +3,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::autograd {
 
@@ -19,7 +19,7 @@ GradCheckResult CheckGradients(
     leaves.emplace_back(t, /*requires_grad=*/true);
   }
   Variable out = fn(leaves);
-  CHECK_EQ(out.value().numel(), 1) << "CheckGradients needs a scalar output";
+  PRISTI_CHECK_EQ(out.value().numel(), 1) << "CheckGradients needs a scalar output";
   out.Backward();
 
   // Numeric pass, coordinate by coordinate.

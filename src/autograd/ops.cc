@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <utility>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::autograd {
 
@@ -14,24 +15,52 @@ namespace t = ::pristi::tensor;
 
 using internal::Node;
 
+// Under PRISTI_DEBUG_NANCHECK, aborts if `value` holds a NaN/Inf, naming
+// the op that produced it and every input shape — so a diverging training
+// run points at the first bad kernel rather than the final loss.
+void MaybeCheckFinite(const char* name, const Tensor& value,
+                      const std::vector<Variable>& inputs) {
+  if (!NanCheckEnabled()) return;
+  int64_t bad = FirstNonFinite(value.data(), value.numel());
+  if (bad < 0) return;
+  std::ostringstream input_shapes;
+  for (const Variable& v : inputs) {
+    input_shapes << " " << t::ShapeToString(v.value().shape());
+  }
+  PRISTI_LOG_FATAL << "PRISTI_DEBUG_NANCHECK: op '" << name
+                   << "' produced non-finite value " << value[bad]
+                   << " at flat index " << bad << "; output shape "
+                   << t::ShapeToString(value.shape()) << ", input shapes:"
+                   << input_shapes.str();
+}
+
 // Builds an interior node. `backward` receives the output gradient and is
 // expected to call AccumulateGrad on the captured parent nodes. If no input
-// requires grad, the edge is pruned and the output is a constant.
-Variable MakeOp(Tensor value, const std::vector<Variable>& inputs,
+// requires grad, the edge is pruned and the output is a constant. `name`
+// labels the op in NaN-attribution and tape-misuse diagnostics.
+Variable MakeOp(const char* name, Tensor value,
+                const std::vector<Variable>& inputs,
                 std::function<void(const Tensor&)> backward) {
   bool needs_grad = false;
   for (const Variable& v : inputs) {
-    CHECK(v.defined()) << "op received an undefined Variable";
+    PRISTI_CHECK(v.defined())
+        << "op '" << name << "' received an undefined Variable";
     if (v.requires_grad() || (v.node()->backward != nullptr)) {
       needs_grad = true;
     }
   }
+  MaybeCheckFinite(name, value, inputs);
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   node->requires_grad = false;
+  node->op_name = name;
   if (needs_grad) {
     node->parents.reserve(inputs.size());
-    for (const Variable& v : inputs) node->parents.push_back(v.node());
+    node->parent_versions.reserve(inputs.size());
+    for (const Variable& v : inputs) {
+      node->parents.push_back(v.node());
+      node->parent_versions.push_back(v.node()->value_version);
+    }
     node->backward = std::move(backward);
   }
   return Variable::FromNode(std::move(node));
@@ -48,11 +77,12 @@ namespace {
 // Shared implementation for add/sub: gradient is (+/-) identity reduced to
 // each parent's shape.
 Variable AddLike(const Variable& a, const Variable& b, float sign_b) {
+  const char* name = sign_b > 0 ? "Add" : "Sub";
   Tensor out = sign_b > 0 ? t::Add(a.value(), b.value())
                           : t::Sub(a.value(), b.value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeOp(std::move(out), {a, b}, [an, bn, sign_b](const Tensor& g) {
+  return MakeOp(name, std::move(out), {a, b}, [an, bn, sign_b](const Tensor& g) {
     an->AccumulateGrad(t::SumToShape(g, an->value.shape()));
     Tensor gb = t::SumToShape(g, bn->value.shape());
     if (sign_b < 0) gb = t::Neg(gb);
@@ -69,7 +99,7 @@ Variable Mul(const Variable& a, const Variable& b) {
   Tensor out = t::Mul(a.value(), b.value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeOp(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+  return MakeOp("Mul", std::move(out), {a, b}, [an, bn](const Tensor& g) {
     an->AccumulateGrad(t::SumToShape(t::Mul(g, bn->value), an->value.shape()));
     bn->AccumulateGrad(t::SumToShape(t::Mul(g, an->value), bn->value.shape()));
   });
@@ -79,7 +109,7 @@ Variable Div(const Variable& a, const Variable& b) {
   Tensor out = t::Div(a.value(), b.value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeOp(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+  return MakeOp("Div", std::move(out), {a, b}, [an, bn](const Tensor& g) {
     an->AccumulateGrad(t::SumToShape(t::Div(g, bn->value), an->value.shape()));
     // d/db (a/b) = -a / b^2
     Tensor db = t::Neg(t::Div(t::Mul(g, an->value), t::Square(bn->value)));
@@ -93,13 +123,13 @@ Variable Div(const Variable& a, const Variable& b) {
 
 Variable AddScalar(const Variable& a, float s) {
   auto an = a.node();
-  return MakeOp(t::AddScalar(a.value(), s), {a},
+  return MakeOp("AddScalar", t::AddScalar(a.value(), s), {a},
                 [an](const Tensor& g) { an->AccumulateGrad(g); });
 }
 
 Variable MulScalar(const Variable& a, float s) {
   auto an = a.node();
-  return MakeOp(t::MulScalar(a.value(), s), {a}, [an, s](const Tensor& g) {
+  return MakeOp("MulScalar", t::MulScalar(a.value(), s), {a}, [an, s](const Tensor& g) {
     an->AccumulateGrad(t::MulScalar(g, s));
   });
 }
@@ -110,14 +140,14 @@ Variable Exp(const Variable& a) {
   Tensor out = t::Exp(a.value());
   auto an = a.node();
   Tensor out_copy = out;
-  return MakeOp(std::move(out), {a}, [an, out_copy](const Tensor& g) {
+  return MakeOp("Exp", std::move(out), {a}, [an, out_copy](const Tensor& g) {
     an->AccumulateGrad(t::Mul(g, out_copy));
   });
 }
 
 Variable Log(const Variable& a) {
   auto an = a.node();
-  return MakeOp(t::Log(a.value()), {a}, [an](const Tensor& g) {
+  return MakeOp("Log", t::Log(a.value()), {a}, [an](const Tensor& g) {
     an->AccumulateGrad(t::Div(g, an->value));
   });
 }
@@ -126,7 +156,7 @@ Variable Sqrt(const Variable& a) {
   Tensor out = t::Sqrt(a.value());
   auto an = a.node();
   Tensor out_copy = out;
-  return MakeOp(std::move(out), {a}, [an, out_copy](const Tensor& g) {
+  return MakeOp("Sqrt", std::move(out), {a}, [an, out_copy](const Tensor& g) {
     // d sqrt(x) = 0.5 / sqrt(x)
     an->AccumulateGrad(t::Div(t::MulScalar(g, 0.5f), out_copy));
   });
@@ -134,14 +164,14 @@ Variable Sqrt(const Variable& a) {
 
 Variable Square(const Variable& a) {
   auto an = a.node();
-  return MakeOp(t::Square(a.value()), {a}, [an](const Tensor& g) {
+  return MakeOp("Square", t::Square(a.value()), {a}, [an](const Tensor& g) {
     an->AccumulateGrad(t::Mul(g, t::MulScalar(an->value, 2.0f)));
   });
 }
 
 Variable Relu(const Variable& a) {
   auto an = a.node();
-  return MakeOp(t::Relu(a.value()), {a}, [an](const Tensor& g) {
+  return MakeOp("Relu", t::Relu(a.value()), {a}, [an](const Tensor& g) {
     Tensor masked(g.shape());
     const float* pg = g.data();
     const float* px = an->value.data();
@@ -157,7 +187,7 @@ Variable Sigmoid(const Variable& a) {
   Tensor out = t::Sigmoid(a.value());
   auto an = a.node();
   Tensor out_copy = out;
-  return MakeOp(std::move(out), {a}, [an, out_copy](const Tensor& g) {
+  return MakeOp("Sigmoid", std::move(out), {a}, [an, out_copy](const Tensor& g) {
     // s' = s (1 - s)
     Tensor ds = t::Mul(out_copy, t::AddScalar(t::Neg(out_copy), 1.0f));
     an->AccumulateGrad(t::Mul(g, ds));
@@ -168,7 +198,7 @@ Variable Tanh(const Variable& a) {
   Tensor out = t::Tanh(a.value());
   auto an = a.node();
   Tensor out_copy = out;
-  return MakeOp(std::move(out), {a}, [an, out_copy](const Tensor& g) {
+  return MakeOp("Tanh", std::move(out), {a}, [an, out_copy](const Tensor& g) {
     // tanh' = 1 - tanh^2
     Tensor dt = t::AddScalar(t::Neg(t::Square(out_copy)), 1.0f);
     an->AccumulateGrad(t::Mul(g, dt));
@@ -177,7 +207,7 @@ Variable Tanh(const Variable& a) {
 
 Variable Clamp(const Variable& a, float lo, float hi) {
   auto an = a.node();
-  return MakeOp(t::Clamp(a.value(), lo, hi), {a},
+  return MakeOp("Clamp", t::Clamp(a.value(), lo, hi), {a},
                 [an, lo, hi](const Tensor& g) {
                   Tensor masked(g.shape());
                   const float* pg = g.data();
@@ -195,7 +225,7 @@ Variable Where(const Tensor& cond, const Variable& a, const Variable& b) {
   auto an = a.node();
   auto bn = b.node();
   Tensor cond_copy = cond;
-  return MakeOp(std::move(out), {a, b}, [an, bn, cond_copy](const Tensor& g) {
+  return MakeOp("Where", std::move(out), {a, b}, [an, bn, cond_copy](const Tensor& g) {
     Tensor ga(g.shape()), gb(g.shape());
     for (int64_t i = 0; i < g.numel(); ++i) {
       if (cond_copy[i] > 0.5f) {
@@ -217,7 +247,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
   Tensor out = t::MatMul(a.value(), b.value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeOp(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+  return MakeOp("MatMul", std::move(out), {a, b}, [an, bn](const Tensor& g) {
     an->AccumulateGrad(t::MatMul(g, t::TransposeLast2(bn->value)));
     bn->AccumulateGrad(t::MatMul(t::TransposeLast2(an->value), g));
   });
@@ -227,7 +257,7 @@ Variable BatchedMatMul(const Variable& a, const Variable& b) {
   Tensor out = t::BatchedMatMul(a.value(), b.value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeOp(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+  return MakeOp("BatchedMatMul", std::move(out), {a, b}, [an, bn](const Tensor& g) {
     an->AccumulateGrad(t::BatchedMatMul(g, t::TransposeLast2(bn->value)));
     bn->AccumulateGrad(t::BatchedMatMul(t::TransposeLast2(an->value), g));
   });
@@ -237,7 +267,7 @@ Variable MatMulLastDim(const Variable& x, const Variable& w) {
   Tensor out = t::MatMulLastDim(x.value(), w.value());
   auto xn = x.node();
   auto wn = w.node();
-  return MakeOp(std::move(out), {x, w}, [xn, wn](const Tensor& g) {
+  return MakeOp("MatMulLastDim", std::move(out), {x, w}, [xn, wn](const Tensor& g) {
     // dx = g @ w^T applied along the last axis.
     xn->AccumulateGrad(t::MatMulLastDim(g, t::TransposeLast2(wn->value)));
     // dw = x2d^T @ g2d where both are flattened to (rows, features).
@@ -254,7 +284,7 @@ Variable MatMulNodeDim(const Variable& p, const Variable& x) {
   Tensor out = t::MatMulNodeDim(p.value(), x.value());
   auto pn = p.node();
   auto xn = x.node();
-  return MakeOp(std::move(out), {p, x}, [pn, xn](const Tensor& g) {
+  return MakeOp("MatMulNodeDim", std::move(out), {p, x}, [pn, xn](const Tensor& g) {
     // dx = p^T @ g along the node axis.
     xn->AccumulateGrad(t::MatMulNodeDim(t::TransposeLast2(pn->value), g));
     // dp = sum_batch g_b @ x_b^T.
@@ -277,7 +307,7 @@ Variable SoftmaxLastDim(const Variable& a) {
   Tensor out = t::SoftmaxLastDim(a.value());
   auto an = a.node();
   Tensor out_copy = out;
-  return MakeOp(std::move(out), {a}, [an, out_copy](const Tensor& g) {
+  return MakeOp("SoftmaxLastDim", std::move(out), {a}, [an, out_copy](const Tensor& g) {
     // dx = s * (g - sum(g * s, last, keepdim))
     Tensor gs = t::Mul(g, out_copy);
     Tensor row_sum = t::SumAxis(gs, -1, /*keepdim=*/true);
@@ -289,8 +319,8 @@ Variable LayerNormLastDim(const Variable& x, const Variable& gamma,
                           const Variable& beta, float eps) {
   const Tensor& xv = x.value();
   int64_t d = xv.dim(-1);
-  CHECK_EQ(gamma.value().numel(), d);
-  CHECK_EQ(beta.value().numel(), d);
+  PRISTI_CHECK_EQ(gamma.value().numel(), d);
+  PRISTI_CHECK_EQ(beta.value().numel(), d);
   int64_t rows = xv.numel() / d;
 
   Tensor xhat(xv.shape());
@@ -333,7 +363,7 @@ Variable LayerNormLastDim(const Variable& x, const Variable& gamma,
   auto xn = x.node();
   auto gn = gamma.node();
   auto bn = beta.node();
-  return MakeOp(
+  return MakeOp("LayerNormLastDim", 
       std::move(out), {x, gamma, beta},
       [xn, gn, bn, xhat, inv_std, rows, d](const Tensor& g) {
         Tensor dgamma(Shape{d});
@@ -382,7 +412,7 @@ Variable LayerNormLastDim(const Variable& x, const Variable& gamma,
 Variable Reshape(const Variable& a, Shape new_shape) {
   Tensor out = a.value().Reshaped(new_shape);
   auto an = a.node();
-  return MakeOp(std::move(out), {a}, [an](const Tensor& g) {
+  return MakeOp("Reshape", std::move(out), {a}, [an](const Tensor& g) {
     an->AccumulateGrad(g.Reshaped(an->value.shape()));
   });
 }
@@ -394,7 +424,7 @@ Variable Permute(const Variable& a, const std::vector<int64_t>& perm) {
     inverse[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
   }
   auto an = a.node();
-  return MakeOp(std::move(out), {a}, [an, inverse](const Tensor& g) {
+  return MakeOp("Permute", std::move(out), {a}, [an, inverse](const Tensor& g) {
     an->AccumulateGrad(t::Permute(g, inverse));
   });
 }
@@ -407,7 +437,7 @@ Variable TransposeLast2(const Variable& a) {
 }
 
 Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
-  CHECK(!parts.empty());
+  PRISTI_CHECK(!parts.empty());
   std::vector<Tensor> values;
   values.reserve(parts.size());
   for (const Variable& p : parts) values.push_back(p.value());
@@ -420,7 +450,7 @@ Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
     nodes.push_back(p.node());
     lengths.push_back(p.value().dim(norm_axis));
   }
-  return MakeOp(std::move(out), parts,
+  return MakeOp("Concat", std::move(out), parts,
                 [nodes, lengths, norm_axis](const Tensor& g) {
                   int64_t offset = 0;
                   for (size_t i = 0; i < nodes.size(); ++i) {
@@ -437,7 +467,7 @@ Variable SliceAxis(const Variable& a, int64_t axis, int64_t start,
   int64_t nd = a.value().ndim();
   int64_t norm_axis = axis < 0 ? axis + nd : axis;
   auto an = a.node();
-  return MakeOp(std::move(out), {a},
+  return MakeOp("SliceAxis", std::move(out), {a},
                 [an, norm_axis, start, length](const Tensor& g) {
                   // Scatter-add g back into the sliced region.
                   Tensor dx = Tensor::Zeros(an->value.shape());
@@ -469,7 +499,7 @@ Variable SliceAxis(const Variable& a, int64_t axis, int64_t start,
 Variable SumAll(const Variable& a) {
   Tensor out = Tensor::Scalar(t::SumAll(a.value()));
   auto an = a.node();
-  return MakeOp(std::move(out), {a}, [an](const Tensor& g) {
+  return MakeOp("SumAll", std::move(out), {a}, [an](const Tensor& g) {
     an->AccumulateGrad(Tensor::Full(an->value.shape(), g[0]));
   });
 }
@@ -482,7 +512,7 @@ Variable MeanAll(const Variable& a) {
 Variable SumAxisKeepdim(const Variable& a, int64_t axis) {
   Tensor out = t::SumAxis(a.value(), axis, /*keepdim=*/true);
   auto an = a.node();
-  return MakeOp(std::move(out), {a}, [an](const Tensor& g) {
+  return MakeOp("SumAxisKeepdim", std::move(out), {a}, [an](const Tensor& g) {
     // Broadcast the reduced gradient back across the summed axis.
     an->AccumulateGrad(t::Add(Tensor::Zeros(an->value.shape()), g));
   });
@@ -500,7 +530,7 @@ Variable MeanAxisKeepdim(const Variable& a, int64_t axis) {
 
 Variable MakeCustomOp(Tensor value, const std::vector<Variable>& inputs,
                       std::function<void(const Tensor& grad_out)> backward) {
-  return MakeOp(std::move(value), inputs, std::move(backward));
+  return MakeOp("CustomOp", std::move(value), inputs, std::move(backward));
 }
 
 // ---------------------------------------------------------------------------
@@ -509,8 +539,8 @@ Variable MakeCustomOp(Tensor value, const std::vector<Variable>& inputs,
 
 Variable MaskedMse(const Variable& pred, const Tensor& target,
                    const Tensor& mask) {
-  CHECK(t::ShapesEqual(pred.value().shape(), target.shape()));
-  CHECK(t::ShapesEqual(pred.value().shape(), mask.shape()));
+  PRISTI_CHECK(t::ShapesEqual(pred.value().shape(), target.shape()));
+  PRISTI_CHECK(t::ShapesEqual(pred.value().shape(), mask.shape()));
   float denom = std::max(1.0f, t::SumAll(mask));
   Variable diff = Sub(pred, Constant(target));
   Variable masked = Mul(Square(diff), Constant(mask));

@@ -2,14 +2,14 @@
 
 #include <unordered_set>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::autograd {
 
 namespace internal {
 
 void Node::AccumulateGrad(const Tensor& g) {
-  CHECK(tensor::ShapesEqual(g.shape(), value.shape()))
+  PRISTI_CHECK(tensor::ShapesEqual(g.shape(), value.shape()))
       << "gradient shape " << tensor::ShapeToString(g.shape())
       << " does not match value shape "
       << tensor::ShapeToString(value.shape());
@@ -28,18 +28,21 @@ Variable::Variable(Tensor value, bool requires_grad)
 }
 
 const Tensor& Variable::value() const {
-  CHECK(defined()) << "value() on undefined Variable";
+  PRISTI_CHECK(defined()) << "value() on undefined Variable";
   return node_->value;
 }
 
 Tensor& Variable::mutable_value() {
-  CHECK(defined());
+  PRISTI_CHECK(defined());
+  // Any in-place write invalidates graphs built on the old value; bumping
+  // the version lets Backward() flag backward-through-stale-tape.
+  ++node_->value_version;
   return node_->value;
 }
 
 const Tensor& Variable::grad() const {
-  CHECK(defined());
-  CHECK(has_grad()) << "no gradient accumulated for this variable";
+  PRISTI_CHECK(defined());
+  PRISTI_CHECK(has_grad()) << "no gradient accumulated for this variable";
   return node_->grad;
 }
 
@@ -53,7 +56,7 @@ bool Variable::requires_grad() const {
 }
 
 void Variable::ZeroGrad() {
-  CHECK(defined());
+  PRISTI_CHECK(defined());
   if (has_grad()) node_->grad.ZeroOut();
 }
 
@@ -89,8 +92,8 @@ std::vector<internal::Node*> TopologicalOrder(internal::Node* root) {
 }  // namespace
 
 void Variable::Backward() {
-  CHECK(defined());
-  CHECK_EQ(node_->value.numel(), 1)
+  PRISTI_CHECK(defined());
+  PRISTI_CHECK_EQ(node_->value.numel(), 1)
       << "Backward() requires a scalar output, got shape "
       << tensor::ShapeToString(node_->value.shape());
   node_->AccumulateGrad(Tensor::Full(node_->value.shape(), 1.0f));
@@ -100,13 +103,31 @@ void Variable::Backward() {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     internal::Node* node = *it;
     if (node->backward && node->grad.numel() == node->value.numel()) {
+      // Tape validation. A closure that already ran belongs to a previous
+      // Backward() through this graph: gradients would double-count.
+      PRISTI_CHECK(!node->backward_consumed)
+          << "double backward through op '" << node->op_name
+          << "': this graph already ran Backward(); rebuild the forward "
+             "graph (the tape is single-shot) before calling it again";
+      // A parent whose value changed since the forward pass (optimizer
+      // step, checkpoint load, EMA swap) makes the recorded activations —
+      // and therefore this gradient — stale.
+      for (size_t i = 0; i < node->parent_versions.size(); ++i) {
+        PRISTI_CHECK(node->parents[i]->value_version ==
+                     node->parent_versions[i])
+            << "backward through stale tape: input " << i << " of op '"
+            << node->op_name << "' (shape "
+            << tensor::ShapeToString(node->parents[i]->value.shape())
+            << ") was modified via mutable_value() after the forward pass";
+      }
+      node->backward_consumed = true;
       node->backward(node->grad);
     }
   }
 }
 
 Variable Variable::Detach() const {
-  CHECK(defined());
+  PRISTI_CHECK(defined());
   return Variable(node_->value, /*requires_grad=*/false);
 }
 

@@ -12,6 +12,7 @@
 // diffusion training loop works: each iteration samples a new diffusion step
 // and mask, so no two iterations share a graph.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -31,8 +32,21 @@ struct Node {
   // Lazily allocated on first accumulation; empty until then.
   Tensor grad;
   bool requires_grad = false;
+  // Name of the operator that produced this node ("leaf" for leaves); used
+  // for NaN attribution and tape-misuse diagnostics.
+  const char* op_name = "leaf";
+  // Bumped on every mutable_value() write. Interior ops record their
+  // parents' versions at build time (parent_versions), letting Backward()
+  // detect backward-through-stale-tape: a parameter mutated between the
+  // forward pass and the backward sweep.
+  uint64_t value_version = 0;
+  // Set once this node's backward closure has run; running it a second
+  // time is double-backward misuse (the tape is single-shot per graph).
+  bool backward_consumed = false;
   // Parents retained both for topological ordering and lifetime.
   std::vector<std::shared_ptr<Node>> parents;
+  // parents[i]'s value_version at graph-construction time.
+  std::vector<uint64_t> parent_versions;
   // Accumulates `grad_out` (same shape as `value`) into the parents' grads.
   // Null for leaves.
   std::function<void(const Tensor& grad_out)> backward;

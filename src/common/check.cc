@@ -1,0 +1,35 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/env.h"
+
+namespace pristi {
+
+namespace {
+
+// -1: follow the environment variable; 0/1: explicit testing override.
+std::atomic<int> g_nan_check_override{-1};
+
+}  // namespace
+
+bool NanCheckEnabled() {
+  int override_value = g_nan_check_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return override_value != 0;
+  static const bool from_env = GetEnvIntOr("PRISTI_DEBUG_NANCHECK", 0) != 0;
+  return from_env;
+}
+
+void SetNanCheckEnabledForTesting(bool enabled) {
+  g_nan_check_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+int64_t FirstNonFinite(const float* data, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return i;
+  }
+  return -1;
+}
+
+}  // namespace pristi

@@ -1,0 +1,112 @@
+#ifndef PRISTI_COMMON_CHECK_H_
+#define PRISTI_COMMON_CHECK_H_
+
+// Runtime invariant checks for the numeric layers.
+//
+// PRISTI_CHECK / PRISTI_CHECK_<OP> are fatal, message-streaming assertions
+// that stay enabled in every build type: this library is a numerical
+// substrate where silent shape/index corruption is far more expensive than
+// a predictable branch. PRISTI_DCHECK / PRISTI_DCHECK_<OP> are the
+// hot-path variants: identical semantics when enabled, compiled down to
+// nothing (the condition is parsed and type-checked but never evaluated)
+// when NDEBUG is defined and PRISTI_DEBUG_CHECKS is not.
+//
+// Both families are expressions built on the conditional operator, so they
+// are safe inside unbraced if/else chains (no dangling-else hazard).
+//
+// This header also hosts the knobs for PRISTI_DEBUG_NANCHECK, a runtime
+// mode (environment variable PRISTI_DEBUG_NANCHECK=1) under which the
+// autograd layer scans every op output for NaN/Inf and aborts naming the
+// first offending op, its shapes, and the bad coordinate — so a diverging
+// diffusion training run points at the first bad kernel rather than the
+// final loss.
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace pristi {
+
+namespace internal_logging {
+
+// Turns a streamed LogMessage expression into void so the CHECK macros can
+// live inside the conditional operator.
+class Voidifier {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+// True when op outputs should be scanned for NaN/Inf (PRISTI_DEBUG_NANCHECK
+// environment variable, or the testing override below).
+bool NanCheckEnabled();
+
+// Overrides the environment-variable decision; used by tests that plant
+// non-finite values and expect attribution. Passing the value read from the
+// environment restores normal behavior.
+void SetNanCheckEnabledForTesting(bool enabled);
+
+// Index of the first NaN/Inf entry in data[0..n), or -1 if all finite.
+int64_t FirstNonFinite(const float* data, int64_t n);
+
+}  // namespace pristi
+
+#define PRISTI_CHECK(condition)                                       \
+  (condition) ? (void)0                                               \
+              : ::pristi::internal_logging::Voidifier() &             \
+                    PRISTI_LOG_FATAL << "Check failed: " #condition " "
+
+#define PRISTI_CHECK_OP(op, a, b)                                     \
+  ((a)op(b)) ? (void)0                                                \
+             : ::pristi::internal_logging::Voidifier() &              \
+                   PRISTI_LOG_FATAL << "Check failed: " #a " " #op    \
+                                    << " " #b " (" << (a) << " vs "   \
+                                    << (b) << ") "
+
+#define PRISTI_CHECK_EQ(a, b) PRISTI_CHECK_OP(==, a, b)
+#define PRISTI_CHECK_NE(a, b) PRISTI_CHECK_OP(!=, a, b)
+#define PRISTI_CHECK_LT(a, b) PRISTI_CHECK_OP(<, a, b)
+#define PRISTI_CHECK_LE(a, b) PRISTI_CHECK_OP(<=, a, b)
+#define PRISTI_CHECK_GT(a, b) PRISTI_CHECK_OP(>, a, b)
+#define PRISTI_CHECK_GE(a, b) PRISTI_CHECK_OP(>=, a, b)
+
+#if !defined(NDEBUG) || defined(PRISTI_DEBUG_CHECKS)
+#define PRISTI_DCHECK_IS_ON 1
+#else
+#define PRISTI_DCHECK_IS_ON 0
+#endif
+
+#if PRISTI_DCHECK_IS_ON
+
+#define PRISTI_DCHECK(condition) PRISTI_CHECK(condition)
+#define PRISTI_DCHECK_EQ(a, b) PRISTI_CHECK_EQ(a, b)
+#define PRISTI_DCHECK_NE(a, b) PRISTI_CHECK_NE(a, b)
+#define PRISTI_DCHECK_LT(a, b) PRISTI_CHECK_LT(a, b)
+#define PRISTI_DCHECK_LE(a, b) PRISTI_CHECK_LE(a, b)
+#define PRISTI_DCHECK_GT(a, b) PRISTI_CHECK_GT(a, b)
+#define PRISTI_DCHECK_GE(a, b) PRISTI_CHECK_GE(a, b)
+
+#else  // PRISTI_DCHECK_IS_ON
+
+// `true || (condition)` keeps the condition parsed and its variables
+// odr-used (so disabled builds still compile the same code) while
+// guaranteeing it is never evaluated; the whole expression folds away.
+#define PRISTI_DCHECK(condition)                          \
+  (true || (condition)) ? (void)0                         \
+                        : ::pristi::internal_logging::Voidifier() & \
+                              PRISTI_LOG_FATAL << ""
+#define PRISTI_DCHECK_OP_DISABLED(op, a, b)               \
+  (true || ((a)op(b))) ? (void)0                          \
+                       : ::pristi::internal_logging::Voidifier() & \
+                             PRISTI_LOG_FATAL << ""
+#define PRISTI_DCHECK_EQ(a, b) PRISTI_DCHECK_OP_DISABLED(==, a, b)
+#define PRISTI_DCHECK_NE(a, b) PRISTI_DCHECK_OP_DISABLED(!=, a, b)
+#define PRISTI_DCHECK_LT(a, b) PRISTI_DCHECK_OP_DISABLED(<, a, b)
+#define PRISTI_DCHECK_LE(a, b) PRISTI_DCHECK_OP_DISABLED(<=, a, b)
+#define PRISTI_DCHECK_GT(a, b) PRISTI_DCHECK_OP_DISABLED(>, a, b)
+#define PRISTI_DCHECK_GE(a, b) PRISTI_DCHECK_OP_DISABLED(>=, a, b)
+
+#endif  // PRISTI_DCHECK_IS_ON
+
+#endif  // PRISTI_COMMON_CHECK_H_

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/env.h"
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi {
 
@@ -22,8 +22,8 @@ int64_t ParallelThreadCount() {
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk) {
-  CHECK_LE(begin, end);
-  CHECK_GE(min_chunk, 1);
+  PRISTI_CHECK_LE(begin, end);
+  PRISTI_CHECK_GE(min_chunk, 1);
   int64_t total = end - begin;
   if (total == 0) return;
   int64_t threads = std::min<int64_t>(

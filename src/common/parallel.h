@@ -16,7 +16,9 @@ int64_t ParallelThreadCount();
 
 // Runs fn(begin..end) partitioned into contiguous chunks across threads.
 // fn must be safe to call concurrently on disjoint index ranges. Blocks
-// until every chunk completes.
+// until every chunk completes. A zero-length range (begin == end) is a
+// no-op; begin > end or min_chunk < 1 is a fatal invariant violation
+// (PRISTI_CHECK), not undefined behavior.
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk = 1);

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
-#include "common/logging.h"
+#include "common/check.h"
 #include "nn/optimizer.h"
 
 namespace pristi::diffusion {
@@ -14,7 +14,7 @@ namespace t = ::pristi::tensor;
 
 Tensor QSample(const Tensor& x0, const Tensor& eps,
                const NoiseSchedule& schedule, int64_t t) {
-  CHECK(t::ShapesEqual(x0.shape(), eps.shape()));
+  PRISTI_CHECK(t::ShapesEqual(x0.shape(), eps.shape()));
   float ab = schedule.alpha_bar(t);
   Tensor out = t::MulScalar(x0, std::sqrt(ab));
   out.AddInPlace(t::MulScalar(eps, std::sqrt(1.0f - ab)));
@@ -24,7 +24,7 @@ Tensor QSample(const Tensor& x0, const Tensor& eps,
 DiffusionBatch MakeSingleWindowBatch(const Tensor& values,
                                      const Tensor& cond_mask,
                                      const Tensor& target_mask) {
-  CHECK_EQ(values.ndim(), 2);
+  PRISTI_CHECK_EQ(values.ndim(), 2);
   int64_t n = values.dim(0), l = values.dim(1);
   DiffusionBatch batch;
   batch.cond_mask = cond_mask.Reshaped({1, n, l});
@@ -41,9 +41,9 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
                                         const data::ImputationTask& task,
                                         const TrainOptions& options,
                                         Rng& rng) {
-  CHECK(model != nullptr);
+  PRISTI_CHECK(model != nullptr);
   std::vector<data::Sample> samples = data::ExtractSamples(task, "train");
-  CHECK(!samples.empty()) << "no training windows";
+  PRISTI_CHECK(!samples.empty()) << "no training windows";
 
   nn::Adam optimizer(model->Parameters(), {.lr = options.lr});
   std::vector<int64_t> milestones;
@@ -122,7 +122,7 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
 }
 
 float ImputationResult::Quantile(int64_t node, int64_t step, double q) const {
-  CHECK(!samples.empty());
+  PRISTI_CHECK(!samples.empty());
   std::vector<float> values;
   values.reserve(samples.size());
   for (const Tensor& s : samples) values.push_back(s.at({node, step}));
@@ -138,8 +138,8 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
                               const NoiseSchedule& schedule,
                               const data::Sample& sample,
                               const ImputeOptions& options, Rng& rng) {
-  CHECK(model != nullptr);
-  CHECK_GT(options.num_samples, 0);
+  PRISTI_CHECK(model != nullptr);
+  PRISTI_CHECK_GT(options.num_samples, 0);
   int64_t n = sample.values.dim(0), l = sample.values.dim(1);
   // At inference the imputation target is everything not observed; the
   // conditional information is every observed value (Algorithm 2).
@@ -204,6 +204,14 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
         }
       }
       x = t::Mul(next, batch.target_mask);
+      if (NanCheckEnabled()) {
+        int64_t bad = FirstNonFinite(x.data(), x.numel());
+        PRISTI_CHECK(bad < 0)
+            << "PRISTI_DEBUG_NANCHECK: reverse diffusion step t=" << step
+            << " (sample " << s << ") produced non-finite value at flat "
+            << "index " << bad << ", state shape "
+            << t::ShapeToString(x.shape());
+      }
     }
     // Merge: generated values on the target, observations elsewhere.
     Tensor merged = t::Add(t::Mul(x.Reshaped({n, l}), target_mask),

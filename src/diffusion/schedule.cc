@@ -2,19 +2,19 @@
 
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::diffusion {
 
 NoiseSchedule::NoiseSchedule(std::vector<float> beta)
     : beta_(std::move(beta)) {
-  CHECK(!beta_.empty());
+  PRISTI_CHECK(!beta_.empty());
   alpha_.reserve(beta_.size());
   alpha_bar_.reserve(beta_.size());
   float running = 1.0f;
   for (float b : beta_) {
-    CHECK_GT(b, 0.0f);
-    CHECK_LT(b, 1.0f);
+    PRISTI_CHECK_GT(b, 0.0f);
+    PRISTI_CHECK_LT(b, 1.0f);
     float a = 1.0f - b;
     alpha_.push_back(a);
     running *= a;
@@ -24,7 +24,7 @@ NoiseSchedule::NoiseSchedule(std::vector<float> beta)
 
 NoiseSchedule NoiseSchedule::Quadratic(int64_t num_steps, float beta_1,
                                        float beta_t_max) {
-  CHECK_GT(num_steps, 1);
+  PRISTI_CHECK_GT(num_steps, 1);
   std::vector<float> beta(static_cast<size_t>(num_steps));
   float s1 = std::sqrt(beta_1);
   float st = std::sqrt(beta_t_max);
@@ -38,7 +38,7 @@ NoiseSchedule NoiseSchedule::Quadratic(int64_t num_steps, float beta_1,
 
 NoiseSchedule NoiseSchedule::Linear(int64_t num_steps, float beta_1,
                                     float beta_t_max) {
-  CHECK_GT(num_steps, 1);
+  PRISTI_CHECK_GT(num_steps, 1);
   std::vector<float> beta(static_cast<size_t>(num_steps));
   for (int64_t t = 1; t <= num_steps; ++t) {
     float w = static_cast<float>(t - 1) / static_cast<float>(num_steps - 1);
@@ -48,8 +48,8 @@ NoiseSchedule NoiseSchedule::Linear(int64_t num_steps, float beta_1,
 }
 
 size_t NoiseSchedule::Index(int64_t t) const {
-  CHECK_GE(t, 1);
-  CHECK_LE(t, num_steps());
+  PRISTI_CHECK_GE(t, 1);
+  PRISTI_CHECK_LE(t, num_steps());
   return static_cast<size_t>(t - 1);
 }
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::nn {
 
@@ -15,8 +15,8 @@ MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t num_heads,
       num_heads_(num_heads),
       head_dim_(d_model / num_heads),
       virtual_nodes_(virtual_nodes) {
-  CHECK_GT(num_heads, 0);
-  CHECK_EQ(d_model % num_heads, 0) << "d_model must divide num_heads";
+  PRISTI_CHECK_GT(num_heads, 0);
+  PRISTI_CHECK_EQ(d_model % num_heads, 0) << "d_model must divide num_heads";
   wq_ = AddParameter("wq",
                      GlorotUniform({d_model, d_model}, d_model, d_model, rng));
   wk_ = AddParameter("wk",
@@ -26,9 +26,9 @@ MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t num_heads,
   wo_ = AddParameter("wo",
                      GlorotUniform({d_model, d_model}, d_model, d_model, rng));
   if (virtual_nodes_ > 0) {
-    CHECK_GT(seq_len, 0)
+    PRISTI_CHECK_GT(seq_len, 0)
         << "virtual-node attention needs a fixed sequence length";
-    CHECK_LT(virtual_nodes_, seq_len)
+    PRISTI_CHECK_LT(virtual_nodes_, seq_len)
         << "virtual nodes should compress the sequence";
     pk_ = AddParameter(
         "pk", GlorotUniform({virtual_nodes_, seq_len}, seq_len, virtual_nodes_,
@@ -55,12 +55,12 @@ Variable MultiHeadAttention::MergeHeads(const Variable& x) const {
 
 Variable MultiHeadAttention::Forward(const Variable& qk_source,
                                      const Variable& v_source) const {
-  CHECK_EQ(qk_source.value().ndim(), 3);
-  CHECK_EQ(v_source.value().ndim(), 3);
-  CHECK_EQ(qk_source.value().dim(-1), d_model_);
-  CHECK_EQ(v_source.value().dim(-1), d_model_);
-  CHECK_EQ(qk_source.value().dim(0), v_source.value().dim(0));
-  CHECK_EQ(qk_source.value().dim(1), v_source.value().dim(1));
+  PRISTI_CHECK_EQ(qk_source.value().ndim(), 3);
+  PRISTI_CHECK_EQ(v_source.value().ndim(), 3);
+  PRISTI_CHECK_EQ(qk_source.value().dim(-1), d_model_);
+  PRISTI_CHECK_EQ(v_source.value().dim(-1), d_model_);
+  PRISTI_CHECK_EQ(qk_source.value().dim(0), v_source.value().dim(0));
+  PRISTI_CHECK_EQ(qk_source.value().dim(1), v_source.value().dim(1));
 
   Variable q = ag::MatMulLastDim(qk_source, wq_);
   Variable key_input = qk_source;

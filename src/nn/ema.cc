@@ -1,6 +1,6 @@
 #include "nn/ema.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::nn {
 
@@ -9,17 +9,17 @@ using tensor::Tensor;
 
 EmaWeights::EmaWeights(std::vector<Variable> params, float decay)
     : params_(std::move(params)), decay_(decay) {
-  CHECK_GT(decay_, 0.0f);
-  CHECK_LT(decay_, 1.0f);
+  PRISTI_CHECK_GT(decay_, 0.0f);
+  PRISTI_CHECK_LT(decay_, 1.0f);
   shadow_.reserve(params_.size());
   for (const Variable& p : params_) {
-    CHECK(p.defined());
+    PRISTI_CHECK(p.defined());
     shadow_.push_back(p.value());  // initialize shadow at current weights
   }
 }
 
 void EmaWeights::Update() {
-  CHECK(!shadow_applied_) << "Update() while shadow weights are applied";
+  PRISTI_CHECK(!shadow_applied_) << "Update() while shadow weights are applied";
   for (size_t i = 0; i < params_.size(); ++i) {
     const Tensor& live = params_[i].value();
     Tensor& shadow = shadow_[i];
@@ -33,7 +33,7 @@ void EmaWeights::Update() {
 }
 
 void EmaWeights::ApplyShadow() {
-  CHECK(!shadow_applied_);
+  PRISTI_CHECK(!shadow_applied_);
   stash_.clear();
   stash_.reserve(params_.size());
   for (size_t i = 0; i < params_.size(); ++i) {
@@ -44,7 +44,7 @@ void EmaWeights::ApplyShadow() {
 }
 
 void EmaWeights::Restore() {
-  CHECK(shadow_applied_) << "Restore() without ApplyShadow()";
+  PRISTI_CHECK(shadow_applied_) << "Restore() without ApplyShadow()";
   for (size_t i = 0; i < params_.size(); ++i) {
     params_[i].mutable_value() = stash_[i];
   }

@@ -2,15 +2,15 @@
 
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::nn {
 
 using tensor::Tensor;
 
 Tensor SinusoidalEncoding(int64_t length, int64_t dim) {
-  CHECK_GT(length, 0);
-  CHECK_GT(dim, 1);
+  PRISTI_CHECK_GT(length, 0);
+  PRISTI_CHECK_GT(dim, 1);
   Tensor table(tensor::Shape{length, dim});
   for (int64_t pos = 0; pos < length; ++pos) {
     for (int64_t i = 0; i < dim; i += 2) {
@@ -26,8 +26,8 @@ Tensor SinusoidalEncoding(int64_t length, int64_t dim) {
 }
 
 Tensor DiffusionStepEncoding(int64_t t, int64_t dim) {
-  CHECK_GE(t, 0);
-  CHECK_GT(dim, 1);
+  PRISTI_CHECK_GE(t, 0);
+  PRISTI_CHECK_GT(dim, 1);
   Tensor row(tensor::Shape{dim});
   for (int64_t i = 0; i < dim; i += 2) {
     double freq = std::pow(10000.0, -static_cast<double>(i) / dim);

@@ -1,6 +1,6 @@
 #include "nn/graph_conv.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::nn {
 
@@ -15,10 +15,10 @@ GraphConv::GraphConv(int64_t d_in, int64_t d_out,
       diffusion_steps_(diffusion_steps),
       adaptive_rank_(adaptive_rank),
       use_sparse_(use_sparse) {
-  CHECK_GT(diffusion_steps_, 0);
+  PRISTI_CHECK_GT(diffusion_steps_, 0);
   for (Tensor& support : supports) {
-    CHECK_EQ(support.ndim(), 2);
-    CHECK_EQ(support.dim(0), support.dim(1));
+    PRISTI_CHECK_EQ(support.ndim(), 2);
+    PRISTI_CHECK_EQ(support.dim(0), support.dim(1));
     if (use_sparse_) {
       sparse_supports_.push_back(std::make_shared<graph::CsrMatrix>(
           graph::CsrMatrix::FromDense(support)));
@@ -26,7 +26,7 @@ GraphConv::GraphConv(int64_t d_in, int64_t d_out,
     supports_.push_back(ag::Constant(std::move(support)));
   }
   if (adaptive_rank_ > 0) {
-    CHECK_GT(num_nodes, 0) << "adaptive adjacency needs the node count";
+    PRISTI_CHECK_GT(num_nodes, 0) << "adaptive adjacency needs the node count";
     e1_ = AddParameter("e1",
                        NormalInit({num_nodes, adaptive_rank_}, 0.1f, rng));
     e2_ = AddParameter("e2",
@@ -41,21 +41,21 @@ GraphConv::GraphConv(int64_t d_in, int64_t d_out,
 }
 
 Variable GraphConv::AdaptiveAdjacency() const {
-  CHECK(has_adaptive());
+  PRISTI_CHECK(has_adaptive());
   Variable raw = ag::MatMul(e1_, ag::TransposeLast2(e2_));
   return ag::SoftmaxLastDim(ag::Relu(raw));
 }
 
 Variable GraphConv::Forward(const Variable& x) const {
-  CHECK_EQ(x.value().ndim(), 3);
-  CHECK_EQ(x.value().dim(-1), d_in_);
+  PRISTI_CHECK_EQ(x.value().ndim(), 3);
+  PRISTI_CHECK_EQ(x.value().dim(-1), d_in_);
 
   std::vector<Variable> features;
   features.push_back(x);
 
   // Fixed supports: sparse or dense message passing.
   for (size_t si = 0; si < supports_.size(); ++si) {
-    CHECK_EQ(supports_[si].value().dim(0), x.value().dim(1))
+    PRISTI_CHECK_EQ(supports_[si].value().dim(0), x.value().dim(1))
         << "support size must match node axis";
     Variable diffused = x;
     for (int64_t step = 0; step < diffusion_steps_; ++step) {
@@ -76,7 +76,7 @@ Variable GraphConv::Forward(const Variable& x) const {
   }
   // Adaptive adjacency (learned, dense).
   if (has_adaptive()) {
-    CHECK_EQ(x.value().dim(1), e1_.value().dim(0))
+    PRISTI_CHECK_EQ(x.value().dim(1), e1_.value().dim(0))
         << "adaptive adjacency node count mismatch";
     Variable adaptive = AdaptiveAdjacency();
     Variable diffused = x;

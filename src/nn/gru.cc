@@ -1,6 +1,6 @@
 #include "nn/gru.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::nn {
 
@@ -33,8 +33,8 @@ GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng& rng)
 }
 
 Variable GruCell::Forward(const Variable& x, const Variable& h) const {
-  CHECK_EQ(x.value().dim(-1), input_size_);
-  CHECK_EQ(h.value().dim(-1), hidden_size_);
+  PRISTI_CHECK_EQ(x.value().dim(-1), input_size_);
+  PRISTI_CHECK_EQ(h.value().dim(-1), hidden_size_);
   Variable z = ag::Sigmoid(ag::Add(
       ag::Add(ag::MatMulLastDim(x, wxz_), ag::MatMulLastDim(h, whz_)), bz_));
   Variable r = ag::Sigmoid(ag::Add(

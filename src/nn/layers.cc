@@ -1,6 +1,6 @@
 #include "nn/layers.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::nn {
 
@@ -10,8 +10,8 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
     : in_features_(in_features),
       out_features_(out_features),
       has_bias_(bias) {
-  CHECK_GT(in_features, 0);
-  CHECK_GT(out_features, 0);
+  PRISTI_CHECK_GT(in_features, 0);
+  PRISTI_CHECK_GT(out_features, 0);
   weight_ = AddParameter(
       "weight", GlorotUniform({in_features, out_features}, in_features,
                               out_features, rng));
@@ -21,7 +21,7 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
 }
 
 Variable Linear::Forward(const Variable& x) const {
-  CHECK_EQ(x.value().dim(-1), in_features_)
+  PRISTI_CHECK_EQ(x.value().dim(-1), in_features_)
       << "Linear expected last dim " << in_features_;
   Variable out = ag::MatMulLastDim(x, weight_);
   if (has_bias_) out = ag::Add(out, bias_);
@@ -29,7 +29,7 @@ Variable Linear::Forward(const Variable& x) const {
 }
 
 LayerNorm::LayerNorm(int64_t features, float eps) : eps_(eps) {
-  CHECK_GT(features, 0);
+  PRISTI_CHECK_GT(features, 0);
   gamma_ = AddParameter("gamma", Tensor::Ones({features}));
   beta_ = AddParameter("beta", Tensor::Zeros({features}));
 }
@@ -52,7 +52,7 @@ Variable Mlp::Forward(const Variable& x) const {
 
 Variable GatedActivation(const Variable& x) {
   int64_t d = x.value().dim(-1);
-  CHECK_EQ(d % 2, 0) << "GatedActivation needs an even channel count";
+  PRISTI_CHECK_EQ(d % 2, 0) << "GatedActivation needs an even channel count";
   Variable filt = ag::SliceAxis(x, -1, 0, d / 2);
   Variable gate = ag::SliceAxis(x, -1, d / 2, d / 2);
   return ag::Mul(ag::Tanh(filt), ag::Sigmoid(gate));

@@ -5,7 +5,7 @@
 #include <istream>
 #include <ostream>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::nn {
 
@@ -47,8 +47,8 @@ void WriteString(std::ostream& out, const std::string& s) {
 std::string ReadString(std::istream& in) {
   uint64_t len = 0;
   in.read(reinterpret_cast<char*>(&len), sizeof(len));
-  CHECK(in.good()) << "truncated checkpoint";
-  CHECK_LE(len, 1u << 20) << "implausible name length in checkpoint";
+  PRISTI_CHECK(in.good()) << "truncated checkpoint";
+  PRISTI_CHECK_LE(len, 1u << 20) << "implausible name length in checkpoint";
   std::string s(len, '\0');
   in.read(s.data(), static_cast<std::streamsize>(len));
   return s;
@@ -70,14 +70,14 @@ void Module::Load(std::istream& in) {
   auto named = NamedParameters();
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  CHECK_EQ(count, named.size()) << "checkpoint parameter count mismatch";
+  PRISTI_CHECK_EQ(count, named.size()) << "checkpoint parameter count mismatch";
   for (auto& [name, param] : named) {
     std::string stored_name = ReadString(in);
-    CHECK(stored_name == name)
+    PRISTI_CHECK(stored_name == name)
         << "checkpoint name mismatch: expected " << name << ", got "
         << stored_name;
     Tensor stored = tensor::ReadTensor(in);
-    CHECK(tensor::ShapesEqual(stored.shape(), param.value().shape()))
+    PRISTI_CHECK(tensor::ShapesEqual(stored.shape(), param.value().shape()))
         << "checkpoint shape mismatch for " << name;
     param.mutable_value() = std::move(stored);
   }
@@ -99,7 +99,7 @@ bool Module::LoadFromFile(const std::string& path) {
 
 Variable Module::AddParameter(const std::string& name, Tensor init) {
   for (auto& [existing, param] : params_) {
-    CHECK(existing != name) << "duplicate parameter name: " << name;
+    PRISTI_CHECK(existing != name) << "duplicate parameter name: " << name;
   }
   Variable param(std::move(init), /*requires_grad=*/true);
   params_.emplace_back(name, param);
@@ -107,9 +107,9 @@ Variable Module::AddParameter(const std::string& name, Tensor init) {
 }
 
 void Module::AddChild(const std::string& name, Module* child) {
-  CHECK(child != nullptr);
+  PRISTI_CHECK(child != nullptr);
   for (auto& [existing, mod] : children_) {
-    CHECK(existing != name) << "duplicate child name: " << name;
+    PRISTI_CHECK(existing != name) << "duplicate child name: " << name;
   }
   children_.emplace_back(name, child);
 }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pristi::nn {
 
@@ -15,7 +15,7 @@ Adam::Adam(std::vector<Variable> params, AdamOptions options)
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (const Variable& p : params_) {
-    CHECK(p.defined());
+    PRISTI_CHECK(p.defined());
     m_.push_back(Tensor::Zeros(p.value().shape()));
     v_.push_back(Tensor::Zeros(p.value().shape()));
   }
@@ -47,6 +47,14 @@ void Adam::Step() {
       float v_hat = pv[j] / bias2;
       pw[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
     }
+    if (NanCheckEnabled()) {
+      int64_t bad = FirstNonFinite(pw, n);
+      PRISTI_CHECK(bad < 0)
+          << "PRISTI_DEBUG_NANCHECK: Adam::Step drove parameter " << i
+          << " (shape " << tensor::ShapeToString(w.shape())
+          << ") non-finite at flat index " << bad
+          << "; gradient there is " << pg[bad];
+    }
   }
 }
 
@@ -60,7 +68,7 @@ MultiStepLr::MultiStepLr(Adam* optimizer, std::vector<int64_t> milestones,
       milestones_(std::move(milestones)),
       gamma_(gamma),
       base_lr_(optimizer->lr()) {
-  CHECK(optimizer_ != nullptr);
+  PRISTI_CHECK(optimizer_ != nullptr);
   std::sort(milestones_.begin(), milestones_.end());
 }
 

@@ -8,7 +8,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 
 namespace pristi::tensor {
@@ -27,7 +27,7 @@ std::string ShapeToString(const Shape& shape) {
 int64_t ShapeNumel(const Shape& shape) {
   int64_t numel = 1;
   for (int64_t d : shape) {
-    CHECK_GE(d, 0) << "negative dimension in shape " << ShapeToString(shape);
+    PRISTI_CHECK_GE(d, 0) << "negative dimension in shape " << ShapeToString(shape);
     numel *= d;
   }
   return numel;
@@ -43,7 +43,7 @@ Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
-  CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()))
+  PRISTI_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()))
       << "data size does not match shape " << ShapeToString(shape_);
 }
 
@@ -83,20 +83,20 @@ Tensor Tensor::Arange(int64_t n) {
 
 int64_t Tensor::dim(int64_t axis) const {
   if (axis < 0) axis += ndim();
-  CHECK_GE(axis, 0);
-  CHECK_LT(axis, ndim());
+  PRISTI_CHECK_GE(axis, 0);
+  PRISTI_CHECK_LT(axis, ndim());
   return shape_[static_cast<size_t>(axis)];
 }
 
 namespace {
 
 int64_t FlatIndex(const Shape& shape, std::initializer_list<int64_t> idx) {
-  CHECK_EQ(idx.size(), shape.size());
+  PRISTI_CHECK_EQ(idx.size(), shape.size());
   int64_t flat = 0;
   size_t axis = 0;
   for (int64_t i : idx) {
-    CHECK_GE(i, 0);
-    CHECK_LT(i, shape[axis]);
+    PRISTI_CHECK_GE(i, 0);
+    PRISTI_CHECK_LT(i, shape[axis]);
     flat = flat * shape[axis] + i;
     ++axis;
   }
@@ -114,14 +114,16 @@ float Tensor::at(std::initializer_list<int64_t> idx) const {
 }
 
 float& Tensor::operator[](int64_t flat_index) {
-  CHECK_GE(flat_index, 0);
-  CHECK_LT(flat_index, numel());
+  // Hot path: full bounds checks only in debug/sanitizer builds (`at()`
+  // stays checked in every build).
+  PRISTI_DCHECK_GE(flat_index, 0);
+  PRISTI_DCHECK_LT(flat_index, numel());
   return data_[static_cast<size_t>(flat_index)];
 }
 
 float Tensor::operator[](int64_t flat_index) const {
-  CHECK_GE(flat_index, 0);
-  CHECK_LT(flat_index, numel());
+  PRISTI_DCHECK_GE(flat_index, 0);
+  PRISTI_DCHECK_LT(flat_index, numel());
   return data_[static_cast<size_t>(flat_index)];
 }
 
@@ -130,7 +132,7 @@ void Tensor::Fill(float value) {
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
-  CHECK(ShapesEqual(shape_, other.shape_))
+  PRISTI_CHECK(ShapesEqual(shape_, other.shape_))
       << "AddInPlace shape mismatch: " << ShapeToString(shape_) << " vs "
       << ShapeToString(other.shape_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
@@ -141,7 +143,7 @@ void Tensor::ScaleInPlace(float factor) {
 }
 
 Tensor Tensor::Reshaped(Shape new_shape) const {
-  CHECK_EQ(ShapeNumel(new_shape), numel())
+  PRISTI_CHECK_EQ(ShapeNumel(new_shape), numel())
       << "reshape " << ShapeToString(shape_) << " -> "
       << ShapeToString(new_shape);
   return Tensor(std::move(new_shape), data_);
@@ -170,7 +172,7 @@ Shape BroadcastShape(const Shape& a, const Shape& b) {
   for (size_t i = 0; i < out_ndim; ++i) {
     int64_t da = i < out_ndim - a.size() ? 1 : a[i - (out_ndim - a.size())];
     int64_t db = i < out_ndim - b.size() ? 1 : b[i - (out_ndim - b.size())];
-    CHECK(da == db || da == 1 || db == 1)
+    PRISTI_CHECK(da == db || da == 1 || db == 1)
         << "incompatible broadcast: " << ShapeToString(a) << " vs "
         << ShapeToString(b);
     out[i] = std::max(da, db);
@@ -262,7 +264,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 
 Tensor SumToShape(const Tensor& t, const Shape& target_shape) {
   if (ShapesEqual(t.shape(), target_shape)) return t;
-  CHECK_LE(target_shape.size(), t.shape().size());
+  PRISTI_CHECK_LE(target_shape.size(), t.shape().size());
   // Sum leading extra axes first.
   Tensor cur = t;
   while (cur.shape().size() > target_shape.size()) {
@@ -273,7 +275,7 @@ Tensor SumToShape(const Tensor& t, const Shape& target_shape) {
     if (target_shape[i] == 1 && cur.shape()[i] != 1) {
       cur = SumAxis(cur, static_cast<int64_t>(i), /*keepdim=*/true);
     } else {
-      CHECK_EQ(target_shape[i], cur.shape()[i])
+      PRISTI_CHECK_EQ(target_shape[i], cur.shape()[i])
           << "SumToShape cannot reduce " << ShapeToString(t.shape())
           << " to " << ShapeToString(target_shape);
     }
@@ -343,13 +345,13 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Clamp(const Tensor& a, float lo, float hi) {
-  CHECK_LE(lo, hi);
+  PRISTI_CHECK_LE(lo, hi);
   return UnaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
 }
 
 Tensor Where(const Tensor& cond, const Tensor& a, const Tensor& b) {
-  CHECK(ShapesEqual(cond.shape(), a.shape()));
-  CHECK(ShapesEqual(cond.shape(), b.shape()));
+  PRISTI_CHECK(ShapesEqual(cond.shape(), a.shape()));
+  PRISTI_CHECK(ShapesEqual(cond.shape(), b.shape()));
   Tensor out(a.shape());
   for (int64_t i = 0; i < out.numel(); ++i) {
     out[i] = cond[i] > 0.5f ? a[i] : b[i];
@@ -408,24 +410,24 @@ inline void BatchedMatMulAccumulate(const float* __restrict a,
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  CHECK_EQ(a.ndim(), 2);
-  CHECK_EQ(b.ndim(), 2);
+  PRISTI_CHECK_EQ(a.ndim(), 2);
+  PRISTI_CHECK_EQ(b.ndim(), 2);
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  CHECK_EQ(k, b.dim(0)) << "MatMul inner dim mismatch";
+  PRISTI_CHECK_EQ(k, b.dim(0)) << "MatMul inner dim mismatch";
   Tensor out(Shape{m, n});
   MatMulAccumulate(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
-  CHECK_GE(a.ndim(), 2);
-  CHECK_EQ(a.ndim(), b.ndim());
+  PRISTI_CHECK_GE(a.ndim(), 2);
+  PRISTI_CHECK_EQ(a.ndim(), b.ndim());
   int64_t nd = a.ndim();
   for (int64_t i = 0; i < nd - 2; ++i) {
-    CHECK_EQ(a.dim(i), b.dim(i)) << "BatchedMatMul leading dim mismatch";
+    PRISTI_CHECK_EQ(a.dim(i), b.dim(i)) << "BatchedMatMul leading dim mismatch";
   }
   int64_t m = a.dim(nd - 2), k = a.dim(nd - 1), n = b.dim(nd - 1);
-  CHECK_EQ(k, b.dim(nd - 2)) << "BatchedMatMul inner dim mismatch";
+  PRISTI_CHECK_EQ(k, b.dim(nd - 2)) << "BatchedMatMul inner dim mismatch";
   int64_t batch = a.numel() / (m * k);
   Shape out_shape(a.shape().begin(), a.shape().end() - 2);
   out_shape.push_back(m);
@@ -437,10 +439,10 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulLastDim(const Tensor& x, const Tensor& w) {
-  CHECK_EQ(w.ndim(), 2);
-  CHECK_GE(x.ndim(), 1);
+  PRISTI_CHECK_EQ(w.ndim(), 2);
+  PRISTI_CHECK_GE(x.ndim(), 1);
   int64_t k_in = x.dim(-1);
-  CHECK_EQ(k_in, w.dim(0)) << "MatMulLastDim inner dim mismatch";
+  PRISTI_CHECK_EQ(k_in, w.dim(0)) << "MatMulLastDim inner dim mismatch";
   int64_t k_out = w.dim(1);
   int64_t rows = x.numel() / k_in;
   Shape out_shape = x.shape();
@@ -451,10 +453,10 @@ Tensor MatMulLastDim(const Tensor& x, const Tensor& w) {
 }
 
 Tensor MatMulNodeDim(const Tensor& p, const Tensor& x) {
-  CHECK_EQ(p.ndim(), 2);
-  CHECK_GE(x.ndim(), 2);
+  PRISTI_CHECK_EQ(p.ndim(), 2);
+  PRISTI_CHECK_GE(x.ndim(), 2);
   int64_t rows_out = p.dim(0), rows_in = p.dim(1);
-  CHECK_EQ(rows_in, x.dim(-2)) << "MatMulNodeDim node-axis mismatch";
+  PRISTI_CHECK_EQ(rows_in, x.dim(-2)) << "MatMulNodeDim node-axis mismatch";
   int64_t d = x.dim(-1);
   int64_t batch = x.numel() / (rows_in * d);
   Shape out_shape = x.shape();
@@ -478,19 +480,19 @@ float SumAll(const Tensor& a) {
 }
 
 float MeanAll(const Tensor& a) {
-  CHECK_GT(a.numel(), 0);
+  PRISTI_CHECK_GT(a.numel(), 0);
   return SumAll(a) / static_cast<float>(a.numel());
 }
 
 float MaxAll(const Tensor& a) {
-  CHECK_GT(a.numel(), 0);
+  PRISTI_CHECK_GT(a.numel(), 0);
   float m = a[0];
   for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, a[i]);
   return m;
 }
 
 float MinAll(const Tensor& a) {
-  CHECK_GT(a.numel(), 0);
+  PRISTI_CHECK_GT(a.numel(), 0);
   float m = a[0];
   for (int64_t i = 1; i < a.numel(); ++i) m = std::min(m, a[i]);
   return m;
@@ -498,8 +500,8 @@ float MinAll(const Tensor& a) {
 
 Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
   if (axis < 0) axis += a.ndim();
-  CHECK_GE(axis, 0);
-  CHECK_LT(axis, a.ndim());
+  PRISTI_CHECK_GE(axis, 0);
+  PRISTI_CHECK_LT(axis, a.ndim());
   int64_t outer = 1, mid = a.dim(axis), inner = 1;
   for (int64_t i = 0; i < axis; ++i) outer *= a.dim(i);
   for (int64_t i = axis + 1; i < a.ndim(); ++i) inner *= a.dim(i);
@@ -536,15 +538,15 @@ Tensor MeanAxis(const Tensor& a, int64_t axis, bool keepdim) {
 // ---------------------------------------------------------------------------
 
 Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
-  CHECK_EQ(static_cast<int64_t>(perm.size()), a.ndim());
+  PRISTI_CHECK_EQ(static_cast<int64_t>(perm.size()), a.ndim());
   int64_t nd = a.ndim();
   std::vector<bool> seen(static_cast<size_t>(nd), false);
   Shape out_shape(static_cast<size_t>(nd));
   for (int64_t i = 0; i < nd; ++i) {
     int64_t p = perm[static_cast<size_t>(i)];
-    CHECK_GE(p, 0);
-    CHECK_LT(p, nd);
-    CHECK(!seen[static_cast<size_t>(p)]) << "perm is not a permutation";
+    PRISTI_CHECK_GE(p, 0);
+    PRISTI_CHECK_LT(p, nd);
+    PRISTI_CHECK(!seen[static_cast<size_t>(p)]) << "perm is not a permutation";
     seen[static_cast<size_t>(p)] = true;
     out_shape[static_cast<size_t>(i)] = a.dim(p);
   }
@@ -581,7 +583,7 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
 }
 
 Tensor TransposeLast2(const Tensor& a) {
-  CHECK_GE(a.ndim(), 2);
+  PRISTI_CHECK_GE(a.ndim(), 2);
   std::vector<int64_t> perm(static_cast<size_t>(a.ndim()));
   for (int64_t i = 0; i < a.ndim(); ++i) perm[static_cast<size_t>(i)] = i;
   std::swap(perm[perm.size() - 1], perm[perm.size() - 2]);
@@ -589,16 +591,16 @@ Tensor TransposeLast2(const Tensor& a) {
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
-  CHECK(!parts.empty());
+  PRISTI_CHECK(!parts.empty());
   int64_t nd = parts[0].ndim();
   if (axis < 0) axis += nd;
-  CHECK_GE(axis, 0);
-  CHECK_LT(axis, nd);
+  PRISTI_CHECK_GE(axis, 0);
+  PRISTI_CHECK_LT(axis, nd);
   int64_t axis_total = 0;
   for (const Tensor& p : parts) {
-    CHECK_EQ(p.ndim(), nd);
+    PRISTI_CHECK_EQ(p.ndim(), nd);
     for (int64_t i = 0; i < nd; ++i) {
-      if (i != axis) CHECK_EQ(p.dim(i), parts[0].dim(i));
+      if (i != axis) PRISTI_CHECK_EQ(p.dim(i), parts[0].dim(i));
     }
     axis_total += p.dim(axis);
   }
@@ -624,7 +626,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
 }
 
 Tensor Stack(const std::vector<Tensor>& parts) {
-  CHECK(!parts.empty());
+  PRISTI_CHECK(!parts.empty());
   Shape item_shape = parts[0].shape();
   Shape out_shape;
   out_shape.push_back(static_cast<int64_t>(parts.size()));
@@ -632,7 +634,7 @@ Tensor Stack(const std::vector<Tensor>& parts) {
   Tensor out(out_shape);
   int64_t item_numel = parts[0].numel();
   for (size_t i = 0; i < parts.size(); ++i) {
-    CHECK(ShapesEqual(parts[i].shape(), item_shape))
+    PRISTI_CHECK(ShapesEqual(parts[i].shape(), item_shape))
         << "Stack requires identical shapes";
     std::memcpy(out.data() + static_cast<int64_t>(i) * item_numel,
                 parts[i].data(),
@@ -645,11 +647,11 @@ Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start,
                  int64_t length) {
   int64_t nd = a.ndim();
   if (axis < 0) axis += nd;
-  CHECK_GE(axis, 0);
-  CHECK_LT(axis, nd);
-  CHECK_GE(start, 0);
-  CHECK_GE(length, 0);
-  CHECK_LE(start + length, a.dim(axis));
+  PRISTI_CHECK_GE(axis, 0);
+  PRISTI_CHECK_LT(axis, nd);
+  PRISTI_CHECK_GE(start, 0);
+  PRISTI_CHECK_GE(length, 0);
+  PRISTI_CHECK_LE(start + length, a.dim(axis));
   int64_t outer = 1, mid = a.dim(axis), inner = 1;
   for (int64_t i = 0; i < axis; ++i) outer *= a.dim(i);
   for (int64_t i = axis + 1; i < nd; ++i) inner *= a.dim(i);
@@ -670,9 +672,9 @@ Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start,
 // ---------------------------------------------------------------------------
 
 Tensor SoftmaxLastDim(const Tensor& a) {
-  CHECK_GE(a.ndim(), 1);
+  PRISTI_CHECK_GE(a.ndim(), 1);
   int64_t d = a.dim(-1);
-  CHECK_GT(d, 0);
+  PRISTI_CHECK_GT(d, 0);
   int64_t rows = a.numel() / d;
   Tensor out(a.shape());
   const float* pa = a.data();
@@ -721,9 +723,9 @@ void WriteTensor(std::ostream& out, const Tensor& t) {
 Tensor ReadTensor(std::istream& in) {
   int64_t nd = 0;
   in.read(reinterpret_cast<char*>(&nd), sizeof(nd));
-  CHECK(in.good()) << "truncated tensor stream";
-  CHECK_GE(nd, 0);
-  CHECK_LE(nd, 8) << "implausible tensor rank";
+  PRISTI_CHECK(in.good()) << "truncated tensor stream";
+  PRISTI_CHECK_GE(nd, 0);
+  PRISTI_CHECK_LE(nd, 8) << "implausible tensor rank";
   Shape shape(static_cast<size_t>(nd));
   for (int64_t i = 0; i < nd; ++i) {
     in.read(reinterpret_cast<char*>(&shape[static_cast<size_t>(i)]),
@@ -732,7 +734,7 @@ Tensor ReadTensor(std::istream& in) {
   Tensor t(shape);
   in.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  CHECK(in.good()) << "truncated tensor payload";
+  PRISTI_CHECK(in.good()) << "truncated tensor payload";
   return t;
 }
 

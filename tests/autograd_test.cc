@@ -285,5 +285,57 @@ TEST(GradCheck, AttentionComposite) {
   EXPECT_TRUE(r.ok) << r.message;
 }
 
+TEST(GradCheck, Neg) {
+  Rng rng(16);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Mul(Neg(v[0]), Exp(Neg(v[0]))));
+      },
+      {Tensor::Randn({3, 2}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, ClampStraddlingRange) {
+  // Values chosen away from the clamp boundaries (+-2) so the subgradient
+  // kink does not invalidate central differences: two clipped low, one
+  // clipped high, three passed through.
+  Tensor x({6}, {0.5f, -0.3f, 7.0f, -8.0f, 1.2f, -3.0f});
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(Clamp(v[0], -2.0f, 2.0f)));
+      },
+      {x});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, WhereRoutesGradientBySide) {
+  Rng rng(17);
+  Tensor cond({2, 3}, {1, 0, 1, 0, 0, 1});
+  auto r = CheckGradients(
+      [cond](std::vector<Variable>& v) {
+        return SumAll(Square(Where(cond, v[0], v[1])));
+      },
+      {Tensor::Randn({2, 3}, rng), Tensor::Randn({2, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MakeCustomOp) {
+  Rng rng(18);
+  // Hand-built op y = 2x with a manual backward closure, mirroring how the
+  // sparse message-passing kernels hook into the tape.
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        auto node = v[0].node();
+        Variable y = MakeCustomOp(
+            t::MulScalar(v[0].value(), 2.0f), {v[0]},
+            [node](const Tensor& grad_out) {
+              node->AccumulateGrad(t::MulScalar(grad_out, 2.0f));
+            });
+        return SumAll(Square(y));
+      },
+      {Tensor::Randn({4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
 }  // namespace
 }  // namespace pristi::autograd

@@ -1,10 +1,14 @@
-// Tests for common utilities: RNG determinism, table/CSV emission.
+// Tests for common utilities: RNG determinism, table/CSV emission, the
+// fork-join parallel loop (including its argument-validation checks).
 
+#include <atomic>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/env.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -87,6 +91,51 @@ TEST(TablePrinter, CsvEscaping) {
 TEST(Env, FallbacksApply) {
   EXPECT_EQ(GetEnvOr("PRISTI_DEFINITELY_UNSET_VAR", "dflt"), "dflt");
   EXPECT_EQ(GetEnvIntOr("PRISTI_DEFINITELY_UNSET_VAR", 17), 17);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const int64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroLengthRangeIsNoOp) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, [&](int64_t, int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, LargeMinChunkRunsInline) {
+  // min_chunk >= total caps the worker count at one, so the whole range
+  // arrives in a single inline call.
+  std::atomic<int> calls{0};
+  ParallelFor(
+      0, 100,
+      [&](int64_t begin, int64_t end) {
+        calls++;
+        EXPECT_EQ(begin, 0);
+        EXPECT_EQ(end, 100);
+      },
+      /*min_chunk=*/100);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelForDeathTest, InvertedRangeIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(ParallelFor(10, 0, [](int64_t, int64_t) {}),
+               "begin <= end");
+}
+
+TEST(ParallelForDeathTest, NonPositiveMinChunkIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(ParallelFor(0, 10, [](int64_t, int64_t) {}, /*min_chunk=*/0),
+               "min_chunk >= 1");
 }
 
 TEST(Stopwatch, MeasuresNonNegativeTime) {

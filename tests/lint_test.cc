@@ -1,0 +1,172 @@
+// Tests for the repo linter: each rule must fire on a planted violation in
+// a synthetic repository tree and stay silent on conforming files.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pristi_lint_lib.h"
+
+namespace pristi::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+void WriteFileAt(const fs::path& path, const std::string& content) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  ASSERT_TRUE(out.good()) << "failed to write " << path;
+}
+
+bool HasViolation(const std::vector<Violation>& violations,
+                  const std::string& rule, const std::string& needle) {
+  for (const Violation& v : violations) {
+    if (v.rule == rule && (v.file.find(needle) != std::string::npos ||
+                           v.message.find(needle) != std::string::npos)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// A fresh synthetic repo root per test.
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) / "pristi_lint_test";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  fs::path root_;
+};
+
+TEST(StripCommentsAndStrings, RemovesCommentsAndLiteralsKeepsLines) {
+  std::string src =
+      "int a; // rand()\n"
+      "/* std::cout\n"
+      "   spans lines */ int b;\n"
+      "const char* s = \"new int\";\n"
+      "char c = '\\n';\n";
+  std::string stripped = StripCommentsAndStrings(src);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("cout"), std::string::npos);
+  EXPECT_EQ(stripped.find("new int"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+  // Line structure is preserved so reported line numbers stay valid.
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+}
+
+TEST(CanonicalHeaderGuard, MapsPathToGuard) {
+  EXPECT_EQ(CanonicalHeaderGuard("common/check.h"), "PRISTI_COMMON_CHECK_H_");
+  EXPECT_EQ(CanonicalHeaderGuard("tensor/tensor.h"),
+            "PRISTI_TENSOR_TENSOR_H_");
+}
+
+TEST(DifferentiableOps, ExtractsDeclaredOps) {
+  std::string header =
+      "Variable Foo(const Variable& a);\n"
+      "Variable Bar(const Variable& a, float s);\n"
+      "void NotAnOp(int x);\n"
+      "  Variable Indented(const Variable& a);\n";  // not at line start
+  std::vector<std::string> ops = DifferentiableOps(header);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], "Foo");
+  EXPECT_EQ(ops[1], "Bar");
+}
+
+TEST_F(LintTest, HeaderGuardRuleFiresOnPlantedViolations) {
+  WriteFileAt(root_ / "src/common/bad.h",
+              "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n");
+  WriteFileAt(root_ / "src/common/missing.h", "int x;\n");
+  WriteFileAt(
+      root_ / "src/common/good.h",
+      "#ifndef PRISTI_COMMON_GOOD_H_\n#define PRISTI_COMMON_GOOD_H_\n"
+      "#endif  // PRISTI_COMMON_GOOD_H_\n");
+  std::vector<Violation> v = CheckHeaderGuards(root_.string());
+  EXPECT_TRUE(HasViolation(v, "header-guard", "bad.h"));
+  EXPECT_TRUE(HasViolation(v, "header-guard", "missing.h"));
+  EXPECT_FALSE(HasViolation(v, "header-guard", "good.h"));
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST_F(LintTest, BannedPatternRuleFiresOnEachPattern) {
+  WriteFileAt(root_ / "src/common/uses_rand.cc",
+              "int f() { return rand() % 7; }\n");
+  WriteFileAt(root_ / "src/common/uses_cout.cc",
+              "#include <iostream>\nvoid g() { std::cout << 1; }\n");
+  WriteFileAt(root_ / "src/common/uses_new.cc",
+              "int* h() { return new int(3); }\n");
+  std::vector<Violation> v = CheckBannedPatterns(root_.string());
+  EXPECT_TRUE(HasViolation(v, "banned-pattern", "uses_rand.cc"));
+  EXPECT_TRUE(HasViolation(v, "banned-pattern", "uses_cout.cc"));
+  EXPECT_TRUE(HasViolation(v, "banned-pattern", "uses_new.cc"));
+}
+
+TEST_F(LintTest, BannedPatternsInCommentsAndStringsAreIgnored) {
+  WriteFileAt(root_ / "src/common/clean.cc",
+              "// rand() and std::cout and new are fine in comments\n"
+              "const char* doc = \"call rand() or new std::cout\";\n"
+              "int renewed = 1;  // 'new' inside an identifier is fine too\n");
+  std::vector<Violation> v = CheckBannedPatterns(root_.string());
+  EXPECT_TRUE(v.empty()) << FormatViolation(v.front());
+}
+
+TEST_F(LintTest, CmakeSourceListRuleFindsUnlistedSibling) {
+  WriteFileAt(root_ / "src/common/listed.cc", "int a;\n");
+  WriteFileAt(root_ / "src/common/orphan.cc", "int b;\n");
+  WriteFileAt(root_ / "src/common/CMakeLists.txt",
+              "add_library(pristi_common listed.cc)\n");
+  std::vector<Violation> v = CheckCmakeSourceLists(root_.string());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "cmake-sources");
+  EXPECT_NE(v[0].message.find("orphan.cc"), std::string::npos);
+}
+
+TEST_F(LintTest, GradCoverageRuleFindsUntestedOp) {
+  WriteFileAt(root_ / "src/autograd/ops.h",
+              "Variable Foo(const Variable& a);\n"
+              "Variable Bar(const Variable& a);\n");
+  WriteFileAt(root_ / "tests/autograd_test.cc",
+              "TEST(GradCheck, Foo) { SumAll(Foo(v[0])); }\n");
+  std::vector<Violation> v = CheckGradCoverage(root_.string());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "grad-coverage");
+  EXPECT_NE(v[0].message.find("Bar"), std::string::npos);
+}
+
+TEST_F(LintTest, LintRepoAggregatesAllRulesAndFormats) {
+  WriteFileAt(root_ / "src/common/bad.h",
+              "#ifndef NOPE_H_\n#define NOPE_H_\nint* p = new int;\n"
+              "#endif\n");
+  std::vector<Violation> v = LintRepo(root_.string());
+  EXPECT_TRUE(HasViolation(v, "header-guard", "bad.h"));
+  EXPECT_TRUE(HasViolation(v, "banned-pattern", "bad.h"));
+  for (const Violation& violation : v) {
+    std::string line = FormatViolation(violation);
+    EXPECT_NE(line.find(violation.rule), std::string::npos);
+    EXPECT_NE(line.find("bad.h"), std::string::npos);
+  }
+}
+
+TEST_F(LintTest, CleanTreeProducesNoViolations) {
+  WriteFileAt(
+      root_ / "src/common/good.h",
+      "#ifndef PRISTI_COMMON_GOOD_H_\n#define PRISTI_COMMON_GOOD_H_\n"
+      "#endif\n");
+  WriteFileAt(root_ / "src/common/good.cc", "#include \"common/good.h\"\n");
+  WriteFileAt(root_ / "src/common/CMakeLists.txt",
+              "add_library(pristi_common good.cc)\n");
+  std::vector<Violation> v = LintRepo(root_.string());
+  EXPECT_TRUE(v.empty()) << FormatViolation(v.front());
+}
+
+}  // namespace
+}  // namespace pristi::lint

@@ -1,0 +1,28 @@
+// Repo linter CLI: `pristi_lint [repo_root]`. Prints every violation of the
+// source-tree invariants documented in pristi_lint_lib.h and exits nonzero
+// if any were found, so CI (and ctest) can gate on it.
+
+#include <filesystem>
+#include <iostream>
+
+#include "pristi_lint_lib.h"
+
+int main(int argc, char** argv) {
+  std::string root = argc > 1 ? argv[1] : ".";
+  if (!std::filesystem::exists(std::filesystem::path(root) / "src")) {
+    std::cerr << "pristi_lint: '" << root
+              << "' does not look like a repo root (no src/ directory)\n";
+    return 2;
+  }
+  std::vector<pristi::lint::Violation> violations =
+      pristi::lint::LintRepo(root);
+  for (const pristi::lint::Violation& v : violations) {
+    std::cout << pristi::lint::FormatViolation(v) << "\n";
+  }
+  if (violations.empty()) {
+    std::cout << "pristi_lint: clean\n";
+    return 0;
+  }
+  std::cout << "pristi_lint: " << violations.size() << " violation(s)\n";
+  return 1;
+}

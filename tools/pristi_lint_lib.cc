@@ -1,0 +1,293 @@
+#include "pristi_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace pristi::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string RelPath(const fs::path& path, const fs::path& root) {
+  return fs::relative(path, root).generic_string();
+}
+
+// All regular files under `dir` (recursive) whose extension is in `exts`,
+// sorted for deterministic reports.
+std::vector<fs::path> CollectFiles(const fs::path& dir,
+                                   const std::vector<std::string>& exts) {
+  std::vector<fs::path> files;
+  if (!fs::exists(dir)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::string ext = entry.path().extension().string();
+    if (std::find(exts.begin(), exts.end(), ext) != exts.end()) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// Splits (already stripped) source into lines for per-line pattern rules.
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+struct BannedPattern {
+  std::regex re;
+  std::string description;
+};
+
+const std::vector<BannedPattern>& BannedPatterns() {
+  static const std::vector<BannedPattern> patterns{
+      {std::regex(R"(\brand\s*\()"),
+       "banned call `rand()`: use pristi::Rng for reproducible streams"},
+      {std::regex(R"(std\s*::\s*cout)"),
+       "banned `std::cout` in src/: return values or use PRISTI_LOG_*"},
+      {std::regex(R"(\bnew\b)"),
+       "banned naked `new` in src/: use std::make_shared, "
+       "std::make_unique, or containers"},
+  };
+  return patterns;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out = source;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < source.size(); ++i) {
+    char c = source[i];
+    char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        char terminator = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == terminator) {
+          state = State::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string CanonicalHeaderGuard(const std::string& rel_path) {
+  std::string guard = "PRISTI_";
+  for (char c : rel_path) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+std::vector<std::string> DifferentiableOps(const std::string& ops_header) {
+  std::vector<std::string> ops;
+  static const std::regex decl(R"(^Variable\s+(\w+)\s*\()");
+  for (const std::string& line : SplitLines(ops_header)) {
+    std::smatch m;
+    if (std::regex_search(line, m, decl)) {
+      ops.push_back(m[1].str());
+    }
+  }
+  return ops;
+}
+
+std::vector<Violation> CheckHeaderGuards(const std::string& repo_root) {
+  std::vector<Violation> violations;
+  fs::path src = fs::path(repo_root) / "src";
+  for (const fs::path& header : CollectFiles(src, {".h"})) {
+    std::string rel_to_src = RelPath(header, src);
+    std::string expected = CanonicalHeaderGuard(rel_to_src);
+    std::string stripped = StripCommentsAndStrings(ReadFile(header));
+    std::smatch m;
+    static const std::regex ifndef_re(R"(#ifndef\s+(\w+))");
+    std::string rel = RelPath(header, repo_root);
+    if (!std::regex_search(stripped, m, ifndef_re)) {
+      violations.push_back({rel, 1, "header-guard",
+                            "missing #ifndef include guard (expected " +
+                                expected + ")"});
+      continue;
+    }
+    std::string actual = m[1].str();
+    if (actual != expected) {
+      violations.push_back({rel, 1, "header-guard",
+                            "include guard " + actual +
+                                " does not match canonical " + expected});
+      continue;
+    }
+    if (stripped.find("#define " + expected) == std::string::npos) {
+      violations.push_back({rel, 1, "header-guard",
+                            "guard " + expected +
+                                " is tested but never #define'd"});
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckBannedPatterns(const std::string& repo_root) {
+  std::vector<Violation> violations;
+  fs::path src = fs::path(repo_root) / "src";
+  for (const fs::path& file : CollectFiles(src, {".h", ".cc"})) {
+    std::string stripped = StripCommentsAndStrings(ReadFile(file));
+    std::vector<std::string> lines = SplitLines(stripped);
+    std::string rel = RelPath(file, repo_root);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      for (const BannedPattern& pattern : BannedPatterns()) {
+        if (std::regex_search(lines[i], pattern.re)) {
+          violations.push_back({rel, static_cast<int>(i + 1),
+                                "banned-pattern", pattern.description});
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckCmakeSourceLists(const std::string& repo_root) {
+  std::vector<Violation> violations;
+  fs::path src = fs::path(repo_root) / "src";
+  if (!fs::exists(src)) return violations;
+  std::vector<fs::path> dirs;
+  dirs.push_back(src);
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (entry.is_directory()) dirs.push_back(entry.path());
+  }
+  std::sort(dirs.begin(), dirs.end());
+  for (const fs::path& dir : dirs) {
+    fs::path cmake = dir / "CMakeLists.txt";
+    if (!fs::exists(cmake)) continue;
+    std::string cmake_text = ReadFile(cmake);
+    std::vector<fs::path> sources;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".cc") {
+        sources.push_back(entry.path());
+      }
+    }
+    std::sort(sources.begin(), sources.end());
+    for (const fs::path& source : sources) {
+      std::string name = source.filename().string();
+      if (cmake_text.find(name) == std::string::npos) {
+        violations.push_back(
+            {RelPath(cmake, repo_root), 0, "cmake-sources",
+             "sibling source " + name +
+                 " is not listed; it silently drops out of the build"});
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckGradCoverage(const std::string& repo_root) {
+  std::vector<Violation> violations;
+  fs::path ops_header = fs::path(repo_root) / "src" / "autograd" / "ops.h";
+  fs::path test_file = fs::path(repo_root) / "tests" / "autograd_test.cc";
+  if (!fs::exists(ops_header)) return violations;
+  if (!fs::exists(test_file)) {
+    violations.push_back({"tests/autograd_test.cc", 0, "grad-coverage",
+                          "gradient test file is missing"});
+    return violations;
+  }
+  std::string ops_src = StripCommentsAndStrings(ReadFile(ops_header));
+  std::string test_src = StripCommentsAndStrings(ReadFile(test_file));
+  for (const std::string& op : DifferentiableOps(ops_src)) {
+    std::regex use(R"(\b)" + op + R"(\s*\()");
+    if (!std::regex_search(test_src, use)) {
+      violations.push_back(
+          {"src/autograd/ops.h", 0, "grad-coverage",
+           "differentiable op " + op +
+               " has no gradient case in tests/autograd_test.cc"});
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> LintRepo(const std::string& repo_root) {
+  std::vector<Violation> all;
+  for (auto* rule : {CheckHeaderGuards, CheckBannedPatterns,
+                     CheckCmakeSourceLists, CheckGradCoverage}) {
+    std::vector<Violation> found = rule(repo_root);
+    all.insert(all.end(), found.begin(), found.end());
+  }
+  return all;
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream out;
+  out << v.file;
+  if (v.line > 0) out << ":" << v.line;
+  out << " [" << v.rule << "] " << v.message;
+  return out.str();
+}
+
+}  // namespace pristi::lint

@@ -1,0 +1,63 @@
+#ifndef PRISTI_TOOLS_PRISTI_LINT_LIB_H_
+#define PRISTI_TOOLS_PRISTI_LINT_LIB_H_
+
+// Repo linter: enforces PriSTI source-tree invariants that no compiler
+// checks. Run as the `pristi_lint` binary (registered as a ctest) against
+// the repository root. Rules:
+//
+//   header-guard       every src/**/*.h uses the canonical
+//                      PRISTI_<PATH>_H_ include guard.
+//   banned-pattern     no `rand()` (use pristi::Rng), no `std::cout`
+//                      (return values or use logging), and no naked `new`
+//                      (use make_shared/make_unique/containers) in src/.
+//   cmake-sources      every CMakeLists.txt under src/ lists all sibling
+//                      .cc files, so no translation unit silently drops
+//                      out of the build.
+//   grad-coverage      every differentiable op declared in
+//                      src/autograd/ops.h is exercised somewhere in
+//                      tests/autograd_test.cc (the finite-difference /
+//                      closed-form gradient matrix).
+//
+// Pattern rules operate on comment- and string-literal-stripped source, so
+// mentioning a banned construct in documentation is fine.
+
+#include <string>
+#include <vector>
+
+namespace pristi::lint {
+
+struct Violation {
+  std::string file;     // repo-relative path
+  int line = 0;         // 1-based; 0 when the rule is file-scoped
+  std::string rule;     // rule id, e.g. "banned-pattern"
+  std::string message;  // human-readable description
+};
+
+// Replaces comments, string literals, and char literals with spaces while
+// preserving line structure (so reported line numbers stay meaningful).
+// Raw string literals are not specially handled; the repo does not use
+// them.
+std::string StripCommentsAndStrings(const std::string& source);
+
+// Canonical include guard for a header at `rel_path` below src/
+// (e.g. "common/check.h" -> "PRISTI_COMMON_CHECK_H_").
+std::string CanonicalHeaderGuard(const std::string& rel_path);
+
+// Names of `Variable Foo(...)` operators declared in (already stripped)
+// ops.h source.
+std::vector<std::string> DifferentiableOps(const std::string& ops_header);
+
+// Individual rules; `repo_root` is the repository checkout root.
+std::vector<Violation> CheckHeaderGuards(const std::string& repo_root);
+std::vector<Violation> CheckBannedPatterns(const std::string& repo_root);
+std::vector<Violation> CheckCmakeSourceLists(const std::string& repo_root);
+std::vector<Violation> CheckGradCoverage(const std::string& repo_root);
+
+// All rules.
+std::vector<Violation> LintRepo(const std::string& repo_root);
+
+std::string FormatViolation(const Violation& v);
+
+}  // namespace pristi::lint
+
+#endif  // PRISTI_TOOLS_PRISTI_LINT_LIB_H_

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Sanitizer build matrix + repo lint driver.
+#
+# For each sanitizer preset (default: "address+undefined thread", override
+# with PRISTI_SANITIZE_CONFIGS), configures a dedicated build tree with
+# -DPRISTI_SANITIZE=<preset> and runs the full ctest suite under the
+# instrumented binaries. RelWithDebInfo keeps optimized codegen (so data
+# races in the batch-parallel kernels still manifest) while retaining debug
+# info for readable sanitizer reports; PRISTI_DEBUG_CHECKS=ON keeps
+# PRISTI_DCHECK live despite NDEBUG. PRISTI_THREADS=4 forces ParallelFor to
+# actually spawn workers so TSan exercises the fork-join paths even on
+# low-core CI machines.
+#
+# Exits nonzero if any configure, build, or test step fails (including a
+# sanitizer report, since -fno-sanitize-recover=all makes reports fatal,
+# and including the pristi_lint ctest).
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+configs="${PRISTI_SANITIZE_CONFIGS:-address+undefined thread}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+status=0
+
+for mode in $configs; do
+  build_dir="$repo_root/build-san-${mode//+/-}"
+  echo "==== [$mode] configure -> $build_dir ===="
+  if ! cmake -S "$repo_root" -B "$build_dir" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPRISTI_SANITIZE="$mode" \
+      -DPRISTI_NATIVE_ARCH=OFF \
+      -DPRISTI_DEBUG_CHECKS=ON; then
+    echo "==== [$mode] CONFIGURE FAILED ===="
+    status=1
+    continue
+  fi
+  echo "==== [$mode] build ===="
+  if ! cmake --build "$build_dir" -j "$jobs"; then
+    echo "==== [$mode] BUILD FAILED ===="
+    status=1
+    continue
+  fi
+  echo "==== [$mode] ctest ===="
+  if ! (cd "$build_dir" && \
+        ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+        UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+        TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:die_after_fork=0}" \
+        PRISTI_THREADS="${PRISTI_THREADS:-4}" \
+        ctest --output-on-failure -j "$jobs"); then
+    echo "==== [$mode] TESTS FAILED ===="
+    status=1
+    continue
+  fi
+  echo "==== [$mode] OK ===="
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run_static_analysis: FAILURES detected (see logs above)"
+else
+  echo "run_static_analysis: all sanitizer configs clean"
+fi
+exit "$status"
