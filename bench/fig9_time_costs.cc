@@ -112,6 +112,15 @@ void BM_ImputeWindow(benchmark::State& state) {
     Rng run_rng(15);
     benchmark::DoNotOptimize(imputer->Impute(window, run_rng));
   }
+  // Diffusion methods also report reverse-diffusion sampling throughput
+  // (generated samples per wall-clock second across the whole run).
+  if (auto* adapter = dynamic_cast<eval::DiffusionImputerAdapter*>(
+          imputer.get());
+      adapter != nullptr && adapter->sample_seconds() > 0.0) {
+    state.counters["samples_per_sec"] =
+        static_cast<double>(adapter->generated_samples()) /
+        adapter->sample_seconds();
+  }
   state.SetLabel(std::string(MethodName(method)) + " / " +
                  PresetName(preset));
 }

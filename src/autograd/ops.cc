@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace pristi::autograd {
 
@@ -325,40 +326,40 @@ Variable LayerNormLastDim(const Variable& x, const Variable& gamma,
 
   Tensor xhat(xv.shape());
   Tensor inv_std(Shape{rows});
-  {
-    const float* px = xv.data();
-    float* ph = xhat.data();
-    float* ps = inv_std.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* src = px + r * d;
-      double mean = 0.0;
-      for (int64_t i = 0; i < d; ++i) mean += src[i];
-      mean /= d;
-      double var = 0.0;
-      for (int64_t i = 0; i < d; ++i) {
-        double c = src[i] - mean;
-        var += c * c;
-      }
-      var /= d;
-      float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
-      ps[r] = istd;
-      float* dst = ph + r * d;
-      for (int64_t i = 0; i < d; ++i) {
-        dst[i] = (src[i] - static_cast<float>(mean)) * istd;
-      }
-    }
-  }
   Tensor out(xv.shape());
   {
-    const float* ph = xhat.data();
+    const float* px = xv.data();
     const float* pg = gamma.value().data();
     const float* pb = beta.value().data();
+    float* ph = xhat.data();
+    float* ps = inv_std.data();
     float* po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      for (int64_t i = 0; i < d; ++i) {
-        po[r * d + i] = ph[r * d + i] * pg[i] + pb[i];
-      }
-    }
+    // Rows are independent; fuse normalize + affine in one parallel pass.
+    pristi::ParallelFor(
+        0, rows,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            const float* src = px + r * d;
+            double mean = 0.0;
+            for (int64_t i = 0; i < d; ++i) mean += src[i];
+            mean /= d;
+            double var = 0.0;
+            for (int64_t i = 0; i < d; ++i) {
+              double c = src[i] - mean;
+              var += c * c;
+            }
+            var /= d;
+            float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+            ps[r] = istd;
+            float* dst = ph + r * d;
+            float* orow = po + r * d;
+            for (int64_t i = 0; i < d; ++i) {
+              dst[i] = (src[i] - static_cast<float>(mean)) * istd;
+              orow[i] = dst[i] * pg[i] + pb[i];
+            }
+          }
+        },
+        std::max<int64_t>(1, 4096 / std::max<int64_t>(d, 1)));
   }
   auto xn = x.node();
   auto gn = gamma.node();

@@ -1,23 +1,175 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
-#include "common/env.h"
 #include "common/check.h"
+#include "common/env.h"
 
 namespace pristi {
 
-int64_t ParallelThreadCount() {
-  static const int64_t count = [] {
+namespace {
+
+// Worker id of the current thread: 0 off-pool, 1..W for pool workers.
+thread_local int64_t tl_worker_id = 0;
+// Set while the current thread executes chunks of some parallel region.
+thread_local bool tl_in_parallel_region = false;
+
+// One ParallelFor invocation. Workers claim chunk indices from `next_chunk`
+// until the range is exhausted (or a chunk threw); the submitting thread
+// waits until every enlisted worker has left the region, which also
+// guarantees `fn` outlives all concurrent uses.
+struct ParallelRegion {
+  int64_t begin = 0;
+  int64_t chunk = 1;
+  int64_t num_chunks = 0;
+  int64_t end = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t workers_active = 0;  // enlisted pool workers still inside
+  std::exception_ptr first_error;
+
+  // Claims and runs chunks until the cursor passes the end of the range.
+  void RunChunks() {
+    bool was_in_region = tl_in_parallel_region;
+    tl_in_parallel_region = true;
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) break;
+      int64_t index = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (index >= num_chunks) break;
+      int64_t lo = begin + index * chunk;
+      int64_t hi = std::min(end, lo + chunk);
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    tl_in_parallel_region = was_in_region;
+  }
+};
+
+// Persistent worker pool. Created lazily on first use; at static
+// destruction the workers are signalled to stop and joined, so no thread
+// outlives the pool's state.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  int64_t thread_count() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return target_threads_;
+  }
+
+  void set_thread_count(int64_t count) {
+    PRISTI_CHECK_GE(count, 1);
+    std::lock_guard<std::mutex> lock(mu_);
+    target_threads_ = count;
+  }
+
+  // Enlists up to `helpers` pool workers into `region`. Workers that wake
+  // after the range is exhausted claim no chunks and leave immediately.
+  void Enlist(const std::shared_ptr<ParallelRegion>& region,
+              int64_t helpers) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SpawnWorkersLocked(helpers);
+      helpers = std::min<int64_t>(
+          helpers, static_cast<int64_t>(workers_.size()));
+      {
+        std::lock_guard<std::mutex> region_lock(region->mu);
+        region->workers_active += helpers;
+      }
+      for (int64_t i = 0; i < helpers; ++i) queue_.push_back(region);
+    }
+    queue_cv_.notify_all();
+  }
+
+ private:
+  ThreadPool() {
     int64_t configured = GetEnvIntOr("PRISTI_THREADS", 0);
-    if (configured > 0) return configured;
-    unsigned hardware = std::thread::hardware_concurrency();
-    return static_cast<int64_t>(hardware > 0 ? hardware : 1);
-  }();
-  return count;
+    if (configured > 0) {
+      target_threads_ = configured;
+    } else {
+      unsigned hardware = std::thread::hardware_concurrency();
+      target_threads_ = static_cast<int64_t>(hardware > 0 ? hardware : 1);
+    }
+  }
+
+  // Ensures at least `helpers` persistent workers exist (requires mu_).
+  void SpawnWorkersLocked(int64_t helpers) {
+    while (static_cast<int64_t>(workers_.size()) < helpers) {
+      int64_t id = static_cast<int64_t>(workers_.size()) + 1;
+      workers_.emplace_back([this, id] { WorkerLoop(id); });
+    }
+  }
+
+  void WorkerLoop(int64_t id) {
+    tl_worker_id = id;
+    for (;;) {
+      std::shared_ptr<ParallelRegion> region;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_cv_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping, nothing left to run
+        region = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      region->RunChunks();
+      {
+        std::lock_guard<std::mutex> lock(region->mu);
+        if (--region->workers_active == 0) region->done_cv.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<ParallelRegion>> queue_;
+  std::vector<std::thread> workers_;
+  int64_t target_threads_ = 1;
+  bool stopping_ = false;
+};
+
+}  // namespace
+
+int64_t ParallelThreadCount() { return ThreadPool::Instance().thread_count(); }
+
+void SetParallelThreadCount(int64_t count) {
+  ThreadPool::Instance().set_thread_count(count);
 }
+
+int64_t CurrentWorkerId() { return tl_worker_id; }
+
+bool InParallelRegion() { return tl_in_parallel_region; }
 
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& fn,
@@ -26,22 +178,42 @@ void ParallelFor(int64_t begin, int64_t end,
   PRISTI_CHECK_GE(min_chunk, 1);
   int64_t total = end - begin;
   if (total == 0) return;
-  int64_t threads = std::min<int64_t>(
-      ParallelThreadCount(), (total + min_chunk - 1) / min_chunk);
-  if (threads <= 1) {
-    fn(begin, end);
+  // Nested region (or a pool of one): run inline on this thread. Inline
+  // nesting means an inner ParallelFor can never wait on workers that are
+  // themselves blocked on the outer region — no deadlock by construction.
+  int64_t threads = std::min<int64_t>(ParallelThreadCount(),
+                                      (total + min_chunk - 1) / min_chunk);
+  if (threads <= 1 || tl_in_parallel_region) {
+    bool was_in_region = tl_in_parallel_region;
+    tl_in_parallel_region = true;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      tl_in_parallel_region = was_in_region;
+      throw;
+    }
+    tl_in_parallel_region = was_in_region;
     return;
   }
-  int64_t chunk = (total + threads - 1) / threads;
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(threads));
-  for (int64_t w = 0; w < threads; ++w) {
-    int64_t lo = begin + w * chunk;
-    int64_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+
+  // Work-chunking: ~4 chunks per thread (but never below min_chunk indices
+  // each) so uneven chunk cost load-balances across the pool.
+  auto region = std::make_shared<ParallelRegion>();
+  region->begin = begin;
+  region->end = end;
+  region->chunk = std::max<int64_t>(min_chunk,
+                                    (total + threads * 4 - 1) / (threads * 4));
+  region->num_chunks = (total + region->chunk - 1) / region->chunk;
+  region->fn = &fn;
+
+  ThreadPool::Instance().Enlist(
+      region, std::min<int64_t>(threads - 1, region->num_chunks - 1));
+  region->RunChunks();  // the calling thread is worker number `threads`
+  {
+    std::unique_lock<std::mutex> lock(region->mu);
+    region->done_cv.wait(lock, [&] { return region->workers_active == 0; });
+    if (region->first_error) std::rethrow_exception(region->first_error);
   }
-  for (std::thread& worker : workers) worker.join();
 }
 
 }  // namespace pristi

@@ -1,22 +1,57 @@
 #ifndef PRISTI_COMMON_PARALLEL_H_
 #define PRISTI_COMMON_PARALLEL_H_
 
-// Fork-join parallel loop for batch-parallel kernels. The thread count
-// defaults to the hardware concurrency and can be pinned with the
-// PRISTI_THREADS environment variable; with one thread the loop runs
-// inline, so single-core environments pay nothing.
+// Parallel loop for batch-parallel kernels, backed by a persistent thread
+// pool.
+//
+// The pool is created lazily on the first ParallelFor that actually needs
+// more than one thread, and its workers then survive for the life of the
+// process, so steady-state parallel regions pay only an enqueue + wake
+// instead of thread creation/join. The size defaults to the hardware
+// concurrency and can be pinned with the PRISTI_THREADS environment
+// variable; with one thread every loop runs inline, so single-core
+// environments never spawn a worker.
+//
+// Scheduling is work-chunked: the range is split into more chunks than
+// threads and workers claim chunks from a shared atomic cursor, so uneven
+// per-index cost (e.g. ragged attention rows) load-balances instead of
+// stalling on the slowest static partition. Chunk boundaries never change
+// the result: each index is processed exactly once, by exactly one thread,
+// with the same per-index arithmetic as the inline path.
 
 #include <cstdint>
 #include <functional>
 
 namespace pristi {
 
-// Number of worker threads the library will use (>= 1).
+// Number of threads ParallelFor may use (>= 1), including the calling
+// thread. Resolved once from PRISTI_THREADS / hardware concurrency, unless
+// overridden by SetParallelThreadCount.
 int64_t ParallelThreadCount();
 
-// Runs fn(begin..end) partitioned into contiguous chunks across threads.
-// fn must be safe to call concurrently on disjoint index ranges. Blocks
-// until every chunk completes. A zero-length range (begin == end) is a
+// Overrides the thread count at runtime (tests, benchmarks, embedders).
+// Growing the count spawns additional persistent workers on the next
+// parallel region; shrinking it idles the surplus workers without joining
+// them. count < 1 is a fatal invariant violation.
+void SetParallelThreadCount(int64_t count);
+
+// Identifier of the current thread within the pool: 0 for any thread that
+// is not a pool worker (including the thread calling ParallelFor), 1..W for
+// the persistent workers. Stable for the lifetime of each worker; used by
+// tests to assert pool reuse.
+int64_t CurrentWorkerId();
+
+// True while the current thread is executing inside a ParallelFor region.
+// Nested ParallelFor calls detect this and run inline on the calling
+// thread, which makes nesting deadlock-free by construction.
+bool InParallelRegion();
+
+// Runs fn over [begin, end) partitioned into contiguous chunks of at least
+// min_chunk indices (except possibly the last). fn must be safe to call
+// concurrently on disjoint index ranges. Blocks until every chunk
+// completes; if any invocation of fn throws, the first exception is
+// rethrown on the calling thread after all workers have quiesced (remaining
+// unclaimed chunks are abandoned). A zero-length range (begin == end) is a
 // no-op; begin > end or min_chunk < 1 is a fatal invariant violation
 // (PRISTI_CHECK), not undefined behavior.
 void ParallelFor(int64_t begin, int64_t end,

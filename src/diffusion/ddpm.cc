@@ -5,6 +5,7 @@
 
 #include "autograd/ops.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "nn/optimizer.h"
 
 namespace pristi::diffusion {
@@ -134,12 +135,184 @@ float ImputationResult::Quantile(int64_t node, int64_t step, double q) const {
   return static_cast<float>(values[lo] * (1.0 - frac) + values[hi] * frac);
 }
 
+std::vector<Rng> MakeChainStreams(Rng& rng, int64_t count) {
+  PRISTI_CHECK_GE(count, 0);
+  uint64_t root = rng.engine()();
+  std::vector<Rng> chains;
+  chains.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    // SplitMix64 finalizer over (root, counter): adjacent counters map to
+    // statistically unrelated seeds.
+    uint64_t z = root + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(i + 1);
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ULL;
+    z ^= z >> 27;
+    z *= 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    chains.emplace_back(z);
+  }
+  return chains;
+}
+
+namespace {
+
+// Schedule constants for one kept reverse step, precomputed once per
+// ImputeWindow so the per-step (and, sequentially, per-chain) loop does no
+// schedule lookups or sqrt work.
+struct ReverseStep {
+  int64_t step = 0;          // 1-based diffusion step fed to the model
+  float inv_sqrt_ab = 0;     // 1 / sqrt(alpha_bar_t)
+  float sqrt_1m_ab = 0;      // sqrt(1 - alpha_bar_t)
+  // DDIM (eta = 0) coefficients against the *previous kept* step.
+  float sqrt_ab_prev = 0;
+  float sqrt_1m_ab_prev = 0;
+  // DDPM posterior-mean coefficients (x0 form) and noise scale.
+  float c0 = 0;
+  float ct = 0;
+  float sigma = 0;           // 0 at the final step (no noise added)
+};
+
+std::vector<ReverseStep> PlanReverseSteps(const NoiseSchedule& schedule,
+                                          const ImputeOptions& options) {
+  std::vector<int64_t> steps;
+  int64_t stride =
+      options.ddim ? std::max<int64_t>(options.ddim_stride, 1) : 1;
+  for (int64_t step = schedule.num_steps(); step >= 1; step -= stride) {
+    steps.push_back(step);
+  }
+  std::vector<ReverseStep> plan(steps.size());
+  for (size_t si = 0; si < steps.size(); ++si) {
+    int64_t step = steps[si];
+    ReverseStep& rs = plan[si];
+    rs.step = step;
+    float ab = schedule.alpha_bar(step);
+    rs.inv_sqrt_ab = 1.0f / std::sqrt(ab);
+    rs.sqrt_1m_ab = std::sqrt(1.0f - ab);
+    if (options.ddim) {
+      int64_t prev = si + 1 < steps.size() ? steps[si + 1] : 0;
+      float ab_prev = schedule.alpha_bar(prev);
+      rs.sqrt_ab_prev = std::sqrt(ab_prev);
+      rs.sqrt_1m_ab_prev = std::sqrt(1.0f - ab_prev);
+    } else {
+      float alpha = schedule.alpha(step);
+      float beta = schedule.beta(step);
+      float ab_prev = schedule.alpha_bar(step - 1);
+      rs.c0 = std::sqrt(ab_prev) * beta / (1.0f - ab);
+      rs.ct = std::sqrt(alpha) * (1.0f - ab_prev) / (1.0f - ab);
+      rs.sigma = step > 1 ? std::sqrt(schedule.sigma2(step)) : 0.0f;
+    }
+  }
+  return plan;
+}
+
+// Fills `out` (B, N, L) with one N(0,1) draw per entry, chain-major: chain
+// b consumes exactly N*L draws from its own stream, in row-major order, so
+// the draw sequence per chain is independent of how many chains share the
+// tensor. Entries outside the target mask are zeroed after drawing (the
+// draw still happens, keeping streams aligned across masks).
+void FillChainNoise(Tensor* out, Rng* chain_rngs, int64_t num_chains,
+                    const Tensor& target_mask) {
+  int64_t per = target_mask.numel();
+  const float* pm = target_mask.data();
+  float* po = out->data();
+  for (int64_t c = 0; c < num_chains; ++c) {
+    float* chain = po + c * per;
+    Rng& chain_rng = chain_rngs[c];
+    for (int64_t i = 0; i < per; ++i) {
+      chain[i] = static_cast<float>(chain_rng.Normal()) * pm[i];
+    }
+  }
+}
+
+// Runs the full reverse chain for `num_chains` samples stacked into one
+// (num_chains, N, L) state tensor: one model call per kept step covers
+// every chain. The sequential fallback calls this with num_chains == 1 per
+// chain; both paths execute identical per-entry arithmetic, so they agree
+// to float precision when fed the same chain streams.
+Tensor RunReverseChains(ConditionalNoisePredictor* model,
+                        const DiffusionBatch& batch,
+                        const std::vector<ReverseStep>& plan, bool ddim,
+                        Rng* chain_rngs, int64_t num_chains,
+                        const Tensor& target_mask) {
+  int64_t n = target_mask.dim(0), l = target_mask.dim(1);
+  int64_t per = n * l;
+  Tensor x(t::Shape{num_chains, n, l});
+  FillChainNoise(&x, chain_rngs, num_chains, target_mask);
+  Tensor z(t::Shape{num_chains, n, l});
+  // Clamp for the implied clean-sample estimate: stops early reverse steps
+  // (where the predictor is least reliable) from compounding into
+  // divergence — the standard "clip x0" stabilization.
+  constexpr float kX0Clamp = 6.0f;
+  constexpr int64_t kStepMinChunk = 1 << 12;
+  for (const ReverseStep& rs : plan) {
+    Variable eps_hat_var = model->PredictNoise(x, batch, rs.step);
+    const Tensor& eps_hat = eps_hat_var.value();
+    bool add_noise = !ddim && rs.sigma > 0.0f;
+    if (add_noise) FillChainNoise(&z, chain_rngs, num_chains, target_mask);
+    const float* pe = eps_hat.data();
+    const float* pm = target_mask.data();
+    const float* pz = z.data();
+    float* px = x.data();
+    // Fused per-step update over all chains: x0-estimate, reverse-step
+    // combination and target-mask projection in one pass, no temporaries.
+    ParallelFor(
+        0, x.numel(),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            float e = pe[i];
+            float xi = px[i];
+            float x0 = (xi - rs.sqrt_1m_ab * e) * rs.inv_sqrt_ab;
+            x0 = std::clamp(x0, -kX0Clamp, kX0Clamp);
+            float next;
+            if (ddim) {
+              // DDIM (eta = 0): x_prev = sqrt(ab_prev) x0_hat
+              //                         + sqrt(1 - ab_prev) eps_hat.
+              next = rs.sqrt_ab_prev * x0 + rs.sqrt_1m_ab_prev * e;
+            } else {
+              // DDPM ancestral step via the posterior mean in x0 form
+              // (equivalent to Algorithm 2 when x0_hat is unclamped):
+              // mu = [sqrt(ab_prev) beta_t x0_hat
+              //       + sqrt(alpha_t) (1 - ab_prev) x_t] / (1 - ab_t).
+              next = rs.c0 * x0 + rs.ct * xi;
+              if (add_noise) next += rs.sigma * pz[i];
+            }
+            px[i] = next * pm[i % per];
+          }
+        },
+        kStepMinChunk);
+    if (NanCheckEnabled()) {
+      int64_t bad = FirstNonFinite(x.data(), x.numel());
+      PRISTI_CHECK(bad < 0)
+          << "PRISTI_DEBUG_NANCHECK: reverse diffusion step t=" << rs.step
+          << " produced non-finite value at flat index " << bad
+          << " (chain " << bad / per << "), state shape "
+          << t::ShapeToString(x.shape());
+    }
+  }
+  return x;
+}
+
+// Repeats a (1, N, L) conditioning tensor across a leading batch of `s`
+// chains.
+Tensor TileChains(const Tensor& one, int64_t s) {
+  PRISTI_CHECK_EQ(one.dim(0), 1);
+  int64_t per = one.numel();
+  Tensor out(t::Shape{s, one.dim(1), one.dim(2)});
+  for (int64_t c = 0; c < s; ++c) {
+    std::copy(one.data(), one.data() + per, out.data() + c * per);
+  }
+  return out;
+}
+
+}  // namespace
+
 ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
                               const NoiseSchedule& schedule,
                               const data::Sample& sample,
                               const ImputeOptions& options, Rng& rng) {
   PRISTI_CHECK(model != nullptr);
   PRISTI_CHECK_GT(options.num_samples, 0);
+  int64_t s = options.num_samples;
   int64_t n = sample.values.dim(0), l = sample.values.dim(1);
   // At inference the imputation target is everything not observed; the
   // conditional information is every observed value (Algorithm 2).
@@ -150,73 +323,40 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
   DiffusionBatch batch =
       MakeSingleWindowBatch(sample.values, sample.observed, target_mask);
 
+  std::vector<Rng> chains = MakeChainStreams(rng, s);
+  std::vector<ReverseStep> plan = PlanReverseSteps(schedule, options);
+
   ImputationResult result;
-  result.samples.reserve(static_cast<size_t>(options.num_samples));
+  result.samples.reserve(static_cast<size_t>(s));
   Tensor observed_values = t::Mul(sample.values, sample.observed);
-  // Step sequence: every step for ancestral sampling, a strided subsequence
-  // for DDIM.
-  std::vector<int64_t> steps;
-  int64_t stride = options.ddim ? std::max<int64_t>(options.ddim_stride, 1)
-                                : 1;
-  for (int64_t step = schedule.num_steps(); step >= 1; step -= stride) {
-    steps.push_back(step);
-  }
-  for (int64_t s = 0; s < options.num_samples; ++s) {
-    Tensor x = t::Mul(Tensor::Randn({1, n, l}, rng), batch.target_mask);
-    for (size_t si = 0; si < steps.size(); ++si) {
-      int64_t step = steps[si];
-      int64_t prev = si + 1 < steps.size() ? steps[si + 1] : 0;
-      Variable eps_hat_var = model->PredictNoise(x, batch, step);
-      Tensor eps_hat = eps_hat_var.value();
-      float ab = schedule.alpha_bar(step);
-      // Implied clean-sample estimate, clamped to the plausible range of
-      // standardized data. Clamping stops early reverse steps (where the
-      // predictor is least reliable) from compounding into divergence — the
-      // standard "clip x0" stabilization of DDPM implementations.
-      constexpr float kX0Clamp = 6.0f;
-      Tensor x0_hat = t::Clamp(
-          t::MulScalar(
-              t::Sub(x, t::MulScalar(eps_hat, std::sqrt(1.0f - ab))),
-              1.0f / std::sqrt(ab)),
-          -kX0Clamp, kX0Clamp);
-      Tensor next;
-      if (options.ddim) {
-        // DDIM (eta = 0): x_prev = sqrt(ab_prev) x0_hat
-        //                         + sqrt(1 - ab_prev) eps_hat.
-        float ab_prev = schedule.alpha_bar(prev);
-        next = t::Add(t::MulScalar(x0_hat, std::sqrt(ab_prev)),
-                      t::MulScalar(eps_hat, std::sqrt(1.0f - ab_prev)));
-      } else {
-        // DDPM ancestral step via the posterior mean in x0 form
-        // (equivalent to Algorithm 2 when x0_hat is unclamped):
-        // mu = [sqrt(ab_prev) beta_t x0_hat
-        //       + sqrt(alpha_t) (1 - ab_prev) x_t] / (1 - ab_t).
-        float alpha = schedule.alpha(step);
-        float beta = schedule.beta(step);
-        float ab_prev = schedule.alpha_bar(step - 1);
-        float c0 = std::sqrt(ab_prev) * beta / (1.0f - ab);
-        float ct = std::sqrt(alpha) * (1.0f - ab_prev) / (1.0f - ab);
-        next = t::Add(t::MulScalar(x0_hat, c0), t::MulScalar(x, ct));
-        if (step > 1) {
-          float sigma = std::sqrt(schedule.sigma2(step));
-          Tensor z = Tensor::Randn({1, n, l}, rng);
-          next.AddInPlace(t::MulScalar(z, sigma));
-        }
-      }
-      x = t::Mul(next, batch.target_mask);
-      if (NanCheckEnabled()) {
-        int64_t bad = FirstNonFinite(x.data(), x.numel());
-        PRISTI_CHECK(bad < 0)
-            << "PRISTI_DEBUG_NANCHECK: reverse diffusion step t=" << step
-            << " (sample " << s << ") produced non-finite value at flat "
-            << "index " << bad << ", state shape "
-            << t::ShapeToString(x.shape());
-      }
-    }
+  auto merge_chain = [&](const float* chain) {
     // Merge: generated values on the target, observations elsewhere.
-    Tensor merged = t::Add(t::Mul(x.Reshaped({n, l}), target_mask),
-                           observed_values);
-    result.samples.push_back(merged);
+    Tensor merged = observed_values;
+    float* pm = merged.data();
+    const float* pt = target_mask.data();
+    for (int64_t i = 0; i < n * l; ++i) pm[i] += chain[i] * pt[i];
+    result.samples.push_back(std::move(merged));
+  };
+
+  if (options.sequential_fallback) {
+    // Oracle path: one chain per model call, batch size 1.
+    for (int64_t c = 0; c < s; ++c) {
+      Tensor xc = RunReverseChains(model, batch, plan, options.ddim,
+                                   &chains[static_cast<size_t>(c)], 1,
+                                   target_mask);
+      merge_chain(xc.data());
+    }
+  } else {
+    // Batched path: all chains advance together; each reverse step is a
+    // single (S, N, L) model call.
+    DiffusionBatch tiled;
+    tiled.cond_values = TileChains(batch.cond_values, s);
+    tiled.cond_mask = TileChains(batch.cond_mask, s);
+    tiled.interpolated = TileChains(batch.interpolated, s);
+    tiled.target_mask = TileChains(batch.target_mask, s);
+    Tensor x = RunReverseChains(model, tiled, plan, options.ddim,
+                                chains.data(), s, target_mask);
+    for (int64_t c = 0; c < s; ++c) merge_chain(x.data() + c * n * l);
   }
 
   // Per-entry median.

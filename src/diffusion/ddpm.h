@@ -98,7 +98,22 @@ struct ImputeOptions {
   // then comes only from the initial noise draw.
   bool ddim = false;
   int64_t ddim_stride = 1;
+  // Runs the `num_samples` reverse chains one at a time (batch size 1 per
+  // model call) instead of stacking them into one (S, N, L) batch. The two
+  // paths draw from identical per-chain RNG streams, so the sequential path
+  // is the reference oracle the sampler-equivalence tests compare against.
+  bool sequential_fallback = false;
 };
+
+// Derives `count` independent per-chain RNG streams from `rng` by counter
+// seeding: one draw from `rng` fixes a root, and chain i is seeded with
+// mix(root, i) (a SplitMix64 finalizer). Because every chain's stream
+// depends only on (root, i) — not on how many draws other chains made —
+// the batched sampler (chains interleaved per step) and the sequential
+// fallback (chains completed one after another) consume identical noise per
+// chain, which is what makes them comparable at tight tolerance. Consumes
+// exactly one draw from `rng` regardless of `count`.
+std::vector<Rng> MakeChainStreams(Rng& rng, int64_t count);
 
 ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
                               const NoiseSchedule& schedule,

@@ -29,8 +29,11 @@ void DiffusionImputerAdapter::Fit(const data::ImputationTask& task,
 }
 
 Tensor DiffusionImputerAdapter::Impute(const data::Sample& sample, Rng& rng) {
+  Stopwatch watch;
   diffusion::ImputationResult result = diffusion::ImputeWindow(
       model_.get(), schedule_, sample, options_.impute, rng);
+  sample_seconds_ += watch.ElapsedSeconds();
+  generated_samples_ += options_.impute.num_samples;
   return result.median;
 }
 
@@ -38,8 +41,11 @@ std::vector<Tensor> DiffusionImputerAdapter::ImputeSamples(
     const data::Sample& sample, int64_t num_samples, Rng& rng) {
   diffusion::ImputeOptions impute = options_.impute;
   impute.num_samples = num_samples;
+  Stopwatch watch;
   diffusion::ImputationResult result =
       diffusion::ImputeWindow(model_.get(), schedule_, sample, impute, rng);
+  sample_seconds_ += watch.ElapsedSeconds();
+  generated_samples_ += num_samples;
   return std::move(result.samples);
 }
 
@@ -85,6 +91,13 @@ MethodResult EvaluateFittedImputer(Imputer* imputer,
   result.method = imputer->name();
   metrics::ErrorAccumulator errors;
   metrics::CrpsAccumulator crps;
+  // Snapshot the adapter's throughput counters so samples/sec covers only
+  // this evaluation (adapters can be evaluated repeatedly across sweeps).
+  auto* diffusion_adapter = dynamic_cast<DiffusionImputerAdapter*>(imputer);
+  int64_t samples_before =
+      diffusion_adapter ? diffusion_adapter->generated_samples() : 0;
+  double seconds_before =
+      diffusion_adapter ? diffusion_adapter->sample_seconds() : 0.0;
   Stopwatch impute_watch;
   for (const data::Sample& sample : data::ExtractSamples(task, "test")) {
     Tensor eval_mask = RestrictToNodes(sample.eval, options.score_nodes);
@@ -108,6 +121,13 @@ MethodResult EvaluateFittedImputer(Imputer* imputer,
     }
   }
   result.impute_seconds = impute_watch.ElapsedSeconds();
+  if (diffusion_adapter != nullptr) {
+    int64_t samples = diffusion_adapter->generated_samples() - samples_before;
+    double seconds = diffusion_adapter->sample_seconds() - seconds_before;
+    if (samples > 0 && seconds > 0.0) {
+      result.samples_per_sec = static_cast<double>(samples) / seconds;
+    }
+  }
   result.mae = errors.Mae();
   result.mse = errors.Mse();
   if (options.crps_samples > 0) result.crps = crps.NormalizedCrps();

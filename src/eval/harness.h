@@ -46,6 +46,13 @@ class DiffusionImputerAdapter : public Imputer {
 
   const std::vector<double>& train_losses() const { return train_losses_; }
 
+  // Cumulative sampling throughput counters: every reverse-diffusion sample
+  // generated through this adapter (Impute and ImputeSamples) and the wall
+  // time spent generating them. The harness reports their ratio as
+  // samples/sec.
+  int64_t generated_samples() const { return generated_samples_; }
+  double sample_seconds() const { return sample_seconds_; }
+
   // Adjusts sampling (sample count, DDIM) after construction; lets sweeps
   // reuse one trained model under different inference settings.
   void set_impute_options(const diffusion::ImputeOptions& impute) {
@@ -61,6 +68,8 @@ class DiffusionImputerAdapter : public Imputer {
   DiffusionRunOptions options_;
   diffusion::NoiseSchedule schedule_;
   std::vector<double> train_losses_;
+  int64_t generated_samples_ = 0;
+  double sample_seconds_ = 0.0;
 };
 
 // Factory helpers used across benches.
@@ -79,6 +88,9 @@ struct MethodResult {
   double crps = 0.0;  // normalized CRPS; 0 unless probabilistic eval ran
   double fit_seconds = 0.0;
   double impute_seconds = 0.0;
+  // Reverse-diffusion samples generated per second during this evaluation;
+  // 0 for non-diffusion methods (they produce point imputations only).
+  double samples_per_sec = 0.0;
 };
 
 struct EvaluateOptions {

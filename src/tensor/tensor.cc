@@ -11,7 +11,35 @@
 #include "common/check.h"
 #include "common/parallel.h"
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 namespace pristi::tensor {
+
+namespace {
+
+// Minimum indices per chunk for parallel elementwise kernels: below this,
+// enqueue/wake overhead on the persistent pool outweighs the loop body, so
+// ParallelFor degenerates to the inline path for small tensors.
+constexpr int64_t kElementwiseMinChunk = 1 << 14;
+
+#if defined(__GLIBC__)
+// glibc serves allocations above M_MMAP_THRESHOLD (default 128 KiB) with a
+// fresh mmap and returns them to the OS on free, so every sample-batched
+// (S, N, L, c) activation pays mmap/munmap plus page faults on first touch
+// — measured at ~2x the whole model forward at S = 32. Keeping large
+// buffers in the arena (and not trimming it back) lets the activation
+// memory of one reverse step be recycled by the next at ordinary heap
+// cost, for a bounded-by-peak-working-set RSS increase.
+const bool g_malloc_tuned = [] {
+  mallopt(M_MMAP_THRESHOLD, 1 << 27);
+  mallopt(M_TRIM_THRESHOLD, 1 << 27);
+  return true;
+}();
+#endif
+
+}  // namespace
 
 std::string ShapeToString(const Shape& shape) {
   std::ostringstream out;
@@ -214,7 +242,12 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryFn fn) {
     const float* pb = b.data();
     float* po = out.data();
     int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    ParallelFor(
+        0, n,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
+        },
+        kElementwiseMinChunk);
     return out;
   }
   Shape out_shape = BroadcastShape(a.shape(), b.shape());
@@ -304,7 +337,12 @@ Tensor UnaryOp(const Tensor& a, Fn fn) {
   const float* pa = a.data();
   float* po = out.data();
   int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  ParallelFor(
+      0, n,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
+      },
+      kElementwiseMinChunk);
   return out;
 }
 
@@ -353,9 +391,18 @@ Tensor Where(const Tensor& cond, const Tensor& a, const Tensor& b) {
   PRISTI_CHECK(ShapesEqual(cond.shape(), a.shape()));
   PRISTI_CHECK(ShapesEqual(cond.shape(), b.shape()));
   Tensor out(a.shape());
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    out[i] = cond[i] > 0.5f ? a[i] : b[i];
-  }
+  const float* pc = cond.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(
+      0, out.numel(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          po[i] = pc[i] > 0.5f ? pa[i] : pb[i];
+        }
+      },
+      kElementwiseMinChunk);
   return out;
 }
 
@@ -380,6 +427,24 @@ inline void MatMulAccumulate(const float* __restrict a,
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
+}
+
+// Row-parallel single matmul: partitions the m rows of C across the pool.
+// Each output row is produced by exactly one thread with the same i-k-j
+// accumulation order as the serial kernel, so the result is bit-identical
+// at any thread count.
+inline void ParallelMatMulAccumulate(const float* a, const float* b, float* c,
+                                     int64_t m, int64_t k, int64_t n) {
+  constexpr int64_t kMinFlopsPerChunk = 1 << 18;
+  int64_t per_row = k * n;
+  int64_t min_chunk =
+      per_row > 0 ? std::max<int64_t>(1, kMinFlopsPerChunk / per_row) : m;
+  ParallelFor(
+      0, m,
+      [&](int64_t lo, int64_t hi) {
+        MatMulAccumulate(a + lo * k, b, c + lo * n, hi - lo, k, n);
+      },
+      min_chunk);
 }
 
 // Batched variant with the loop inside the kernel, so tiny per-sample
@@ -415,7 +480,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   PRISTI_CHECK_EQ(k, b.dim(0)) << "MatMul inner dim mismatch";
   Tensor out(Shape{m, n});
-  MatMulAccumulate(a.data(), b.data(), out.data(), m, k, n);
+  ParallelMatMulAccumulate(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -448,7 +513,9 @@ Tensor MatMulLastDim(const Tensor& x, const Tensor& w) {
   Shape out_shape = x.shape();
   out_shape.back() = k_out;
   Tensor out(out_shape);
-  MatMulAccumulate(x.data(), w.data(), out.data(), rows, k_in, k_out);
+  // Rows scale with the full batch (B*N*L for Linear layers), so this is
+  // the dominant parallel axis for the sample-batched sampler.
+  ParallelMatMulAccumulate(x.data(), w.data(), out.data(), rows, k_in, k_out);
   return out;
 }
 
@@ -679,19 +746,25 @@ Tensor SoftmaxLastDim(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = pa + r * d;
-    float* dst = po + r * d;
-    float row_max = src[0];
-    for (int64_t i = 1; i < d; ++i) row_max = std::max(row_max, src[i]);
-    double denom = 0.0;
-    for (int64_t i = 0; i < d; ++i) {
-      dst[i] = std::exp(src[i] - row_max);
-      denom += dst[i];
-    }
-    float inv = static_cast<float>(1.0 / denom);
-    for (int64_t i = 0; i < d; ++i) dst[i] *= inv;
-  }
+  int64_t min_rows = std::max<int64_t>(1, kElementwiseMinChunk / d);
+  ParallelFor(
+      0, rows,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* src = pa + r * d;
+          float* dst = po + r * d;
+          float row_max = src[0];
+          for (int64_t i = 1; i < d; ++i) row_max = std::max(row_max, src[i]);
+          double denom = 0.0;
+          for (int64_t i = 0; i < d; ++i) {
+            dst[i] = std::exp(src[i] - row_max);
+            denom += dst[i];
+          }
+          float inv = static_cast<float>(1.0 / denom);
+          for (int64_t i = 0; i < d; ++i) dst[i] *= inv;
+        }
+      },
+      min_rows);
   return out;
 }
 

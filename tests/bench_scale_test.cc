@@ -1,12 +1,21 @@
 // Pins the bench harness's full-scale configuration to the paper's Table II
 // hyperparameters, so a refactor cannot silently drift the "paper-shaped"
 // mode away from the published setup.
+//
+// Also hosts the sampler throughput sweep (SamplerBench.*): batched vs
+// sequential reverse diffusion over S in {1, 8, 32} on the 20-node quick
+// METR-LA preset, emitting BENCH_sampler.json. The sweep records numbers
+// but asserts nothing about speed, and its ctest registration carries the
+// `bench` label so gating runs can exclude it with `ctest -LE bench`.
 
+#include <cstdio>
 #include <cstdlib>
 
 #include <gtest/gtest.h>
 
 #include "bench_common.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
 
 namespace pristi::bench {
 namespace {
@@ -76,6 +85,80 @@ TEST_F(ScaleTest, PristiConfigUsesPaperEmbeddingDims) {
   EXPECT_EQ(config.diffusion_emb_dim, 128);  // Table II / Sec. III-B3
   EXPECT_EQ(config.temporal_emb_dim, 128);   // U_tem in R^{L x 128}
   EXPECT_EQ(config.node_emb_dim, 16);        // U_spa in R^{N x 16}
+}
+
+TEST(SamplerBench, SamplesPerSecondSweep) {
+  Scale scale;  // quick defaults: the 20-node METR-LA preset
+  data::ImputationTask task =
+      MakeTask(Preset::kMetrLa, MissingPattern::kPoint, scale, 7);
+  Rng rng(13);
+  core::PristiModel model(PristiConfigFor(task, scale),
+                          task.dataset.graph.adjacency, rng);
+  eval::DiffusionRunOptions options = DiffusionOptionsFor(task, scale);
+  diffusion::NoiseSchedule schedule = diffusion::NoiseSchedule::Quadratic(
+      options.diffusion_steps, options.beta_1, options.beta_end);
+  data::Sample window = data::ExtractWindow(task, 0);
+
+  auto run = [&](int64_t samples, bool sequential) {
+    diffusion::ImputeOptions impute = options.impute;
+    impute.num_samples = samples;
+    impute.sequential_fallback = sequential;
+    Rng sample_rng(29);
+    Stopwatch watch;
+    diffusion::ImputationResult result =
+        diffusion::ImputeWindow(&model, schedule, window, impute, sample_rng);
+    double seconds = watch.ElapsedSeconds();
+    EXPECT_EQ(result.samples.size(), static_cast<size_t>(samples));
+    return seconds;
+  };
+  run(1, false);  // warm-up: spawn pool workers, touch allocator pools
+
+  std::FILE* json = std::fopen("BENCH_sampler.json", "w");
+  ASSERT_NE(json, nullptr);
+  std::fprintf(json,
+               "{\n"
+               "  \"preset\": \"metr-la-quick\",\n"
+               "  \"nodes\": %lld,\n"
+               "  \"window_len\": %lld,\n"
+               "  \"diffusion_steps\": %lld,\n"
+               "  \"threads\": %lld,\n"
+               "  \"sweep\": [",
+               static_cast<long long>(scale.metr_nodes),
+               static_cast<long long>(scale.window_len),
+               static_cast<long long>(options.diffusion_steps),
+               static_cast<long long>(ParallelThreadCount()));
+  std::printf("sampler throughput (%lld nodes, %lld steps, %lld threads)\n",
+              static_cast<long long>(scale.metr_nodes),
+              static_cast<long long>(options.diffusion_steps),
+              static_cast<long long>(ParallelThreadCount()));
+  std::printf("%8s %14s %14s %10s\n", "samples", "batched sps", "seq sps",
+              "speedup");
+  bool first = true;
+  for (int64_t samples : {int64_t{1}, int64_t{8}, int64_t{32}}) {
+    double batched_sec = run(samples, /*sequential=*/false);
+    double sequential_sec = run(samples, /*sequential=*/true);
+    double batched_sps = static_cast<double>(samples) / batched_sec;
+    double sequential_sps = static_cast<double>(samples) / sequential_sec;
+    double speedup = sequential_sec / batched_sec;
+    EXPECT_GT(batched_sps, 0.0);
+    EXPECT_GT(sequential_sps, 0.0);
+    std::fprintf(json,
+                 "%s\n    {\"samples\": %lld, \"batched_sec\": %.6f, "
+                 "\"batched_samples_per_sec\": %.3f, "
+                 "\"sequential_sec\": %.6f, "
+                 "\"sequential_samples_per_sec\": %.3f, "
+                 "\"speedup\": %.3f}",
+                 first ? "" : ",", static_cast<long long>(samples),
+                 batched_sec, batched_sps, sequential_sec, sequential_sps,
+                 speedup);
+    std::printf("%8lld %14.2f %14.2f %9.2fx\n",
+                static_cast<long long>(samples), batched_sps, sequential_sps,
+                speedup);
+    first = false;
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("[json written to BENCH_sampler.json]\n");
 }
 
 }  // namespace

@@ -2,7 +2,12 @@
 // fork-join parallel loop (including its argument-validation checks).
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -136,6 +141,103 @@ TEST(ParallelForDeathTest, NonPositiveMinChunkIsFatal) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(ParallelFor(0, 10, [](int64_t, int64_t) {}, /*min_chunk=*/0),
                "min_chunk >= 1");
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  // A ParallelFor issued from inside a worker must not re-enter the pool
+  // (the pool has no free threads to give it); it runs inline on the
+  // calling worker. Every inner index must still be covered exactly once.
+  const int64_t outer = 64, inner = 32;
+  std::vector<std::atomic<int>> hits(static_cast<size_t>(outer * inner));
+  for (auto& h : hits) h.store(0);
+  std::atomic<int> nested_inline{0};
+  ParallelFor(0, outer, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      EXPECT_TRUE(InParallelRegion());
+      ParallelFor(0, inner, [&](int64_t ib, int64_t ie) {
+        if (InParallelRegion()) nested_inline++;
+        for (int64_t j = ib; j < ie; ++j) {
+          hits[static_cast<size_t>(i * inner + j)]++;
+        }
+      });
+    }
+  });
+  EXPECT_FALSE(InParallelRegion());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "flat index " << i;
+  }
+  EXPECT_GT(nested_inline.load(), 0);
+}
+
+TEST(ParallelFor, PropagatesFirstExceptionToCaller) {
+  int64_t restore = ParallelThreadCount();
+  SetParallelThreadCount(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000,
+                  [](int64_t begin, int64_t end) {
+                    // Thrown by exactly the chunk that covers index 500,
+                    // whatever the chunking (including the inline path).
+                    if (begin <= 500 && 500 < end) {
+                      throw std::runtime_error("chunk failed");
+                    }
+                  }),
+      std::runtime_error);
+  SetParallelThreadCount(restore);
+  // The pool must stay usable after an exception drained a region.
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 100, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ParallelFor, WorkerIdsAreStableAcrossCalls) {
+  // The pool is persistent: repeated ParallelFor calls must reuse the same
+  // workers (ids drawn from 1..W) instead of spawning fresh threads, and the
+  // caller itself participates with its off-pool id 0.
+  int64_t restore = ParallelThreadCount();
+  SetParallelThreadCount(4);
+  EXPECT_EQ(CurrentWorkerId(), 0);
+  auto collect_ids = [] {
+    std::mutex mu;
+    std::set<int64_t> ids;
+    ParallelFor(
+        0, 64,
+        [&](int64_t, int64_t) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          std::lock_guard<std::mutex> lock(mu);
+          ids.insert(CurrentWorkerId());
+        },
+        /*min_chunk=*/1);
+    return ids;
+  };
+  std::set<int64_t> first = collect_ids();
+  for (int64_t id : first) {
+    EXPECT_GE(id, 0);
+    EXPECT_LE(id, 4);
+  }
+  // Ten more rounds: no id outside the first round's pool ever appears
+  // above the pool size — worker threads are reused, not respawned.
+  for (int round = 0; round < 10; ++round) {
+    for (int64_t id : collect_ids()) {
+      EXPECT_LE(id, 4) << "round " << round;
+    }
+  }
+  SetParallelThreadCount(restore);
+}
+
+TEST(ParallelFor, ThreadCountRoundTrip) {
+  int64_t restore = ParallelThreadCount();
+  SetParallelThreadCount(2);
+  EXPECT_EQ(ParallelThreadCount(), 2);
+  SetParallelThreadCount(1);
+  // Single-threaded: everything runs inline on the caller.
+  ParallelFor(0, 10, [](int64_t, int64_t) {
+    EXPECT_EQ(CurrentWorkerId(), 0);
+    EXPECT_TRUE(InParallelRegion());
+  });
+  SetParallelThreadCount(restore);
+  EXPECT_EQ(ParallelThreadCount(), restore);
 }
 
 TEST(Stopwatch, MeasuresNonNegativeTime) {
