@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 namespace pristi {
@@ -57,6 +59,27 @@ class Rng {
       std::swap(perm[i], perm[j]);
     }
     return perm;
+  }
+
+  // Serializes the engine position (std::mt19937_64 stream operators). The
+  // engine state is the COMPLETE Rng state: every draw above constructs its
+  // distribution object fresh, so there is no hidden distribution state and
+  // a restored Rng continues the stream bit-identically.
+  std::string SaveStateString() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+
+  // Restores a stream position saved by SaveStateString(). Returns false
+  // (leaving the engine untouched) if `state` is not a valid saved state.
+  bool LoadStateString(const std::string& state) {
+    std::istringstream in(state);
+    std::mt19937_64 restored;
+    in >> restored;
+    if (in.fail()) return false;
+    engine_ = restored;
+    return true;
   }
 
   std::mt19937_64& engine() { return engine_; }

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <optional>
+#include <string>
 
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "common/parallel.h"
+#include "nn/ema.h"
+#include "nn/module.h"
 #include "nn/optimizer.h"
+#include "serialize/checkpoint.h"
 
 namespace pristi::diffusion {
 
@@ -37,6 +43,95 @@ DiffusionBatch MakeSingleWindowBatch(const Tensor& values,
 }
 
 
+namespace {
+
+// The noise-schedule betas as stored in (and checked against) a training
+// checkpoint: resuming under a different schedule would silently train a
+// different model, so the exact float values are compared.
+std::vector<double> ScheduleBetas(const NoiseSchedule& schedule) {
+  std::vector<double> betas;
+  betas.reserve(static_cast<size_t>(schedule.num_steps()));
+  for (int64_t t = 1; t <= schedule.num_steps(); ++t) {
+    betas.push_back(static_cast<double>(schedule.beta(t)));
+  }
+  return betas;
+}
+
+// Writes one "pristi-training" checkpoint file atomically. `epochs_done` is
+// the number of completed epochs (== the index of the next epoch to run).
+serialize::Status SaveTrainingCheckpoint(
+    const std::string& path, nn::Module& module, const nn::Adam& optimizer,
+    const nn::EmaWeights* ema, const Rng& rng, const NoiseSchedule& schedule,
+    int64_t epochs_done, const std::vector<double>& epoch_losses) {
+  return serialize::WriteFileAtomic(path, [&](std::ostream& out) {
+    serialize::CheckpointWriter writer(out);
+    writer.AddString("meta.kind", "pristi-training");
+    serialize::AppendModule(module, &writer);
+    serialize::AppendAdam(optimizer, &writer);
+    if (ema != nullptr) serialize::AppendEma(*ema, &writer);
+    serialize::AppendRng(rng, &writer);
+    writer.AddF64List("schedule.beta", ScheduleBetas(schedule));
+    writer.AddI64("train.epoch", epochs_done);
+    writer.AddF64List("train.losses", epoch_losses);
+    if (!writer.Finish()) {
+      return serialize::Status::Error(serialize::ErrorCode::kIoError,
+                                      "checkpoint write failed");
+    }
+    return serialize::Status::Ok();
+  });
+}
+
+// Restores model/optimizer/EMA/RNG state and returns the number of completed
+// epochs via `epochs_done`. Every failure is a typed serialize error.
+serialize::Status LoadTrainingCheckpoint(
+    const std::string& path, nn::Module& module, nn::Adam* optimizer,
+    nn::EmaWeights* ema, Rng* rng, const NoiseSchedule& schedule,
+    int64_t* epochs_done, std::vector<double>* epoch_losses) {
+  serialize::CheckpointView view;
+  serialize::Status status = serialize::ParseCheckpointFile(path, &view);
+  if (!status.ok()) return status;
+  std::string kind;
+  if (!(status = view.GetString("meta.kind", &kind)).ok()) return status;
+  if (kind != "pristi-training") {
+    return serialize::Status::Error(
+        serialize::ErrorCode::kConfigMismatch,
+        "'" + path + "' is a '" + kind +
+            "' checkpoint, not a training checkpoint");
+  }
+  std::vector<double> stored_betas;
+  if (!(status = view.GetF64List("schedule.beta", &stored_betas)).ok()) {
+    return status;
+  }
+  if (stored_betas != ScheduleBetas(schedule)) {
+    return serialize::Status::Error(
+        serialize::ErrorCode::kConfigMismatch,
+        "checkpoint noise schedule differs from the live schedule");
+  }
+  if (!(status = serialize::LoadModule(module, view)).ok()) return status;
+  if (!(status = serialize::LoadAdam(optimizer, view)).ok()) return status;
+  if (ema != nullptr) {
+    if (!(status = serialize::LoadEma(ema, view)).ok()) return status;
+  } else if (view.Find("ema.__count") != nullptr) {
+    return serialize::Status::Error(
+        serialize::ErrorCode::kConfigMismatch,
+        "checkpoint carries EMA shadows but the run has ema_decay = 0");
+  }
+  if (!(status = serialize::LoadRng(rng, view)).ok()) return status;
+  if (!(status = view.GetI64("train.epoch", epochs_done)).ok()) return status;
+  if (!(status = view.GetF64List("train.losses", epoch_losses)).ok()) {
+    return status;
+  }
+  if (*epochs_done < 0 ||
+      *epochs_done != static_cast<int64_t>(epoch_losses->size())) {
+    return serialize::Status::Error(
+        serialize::ErrorCode::kBadRecord,
+        "train.epoch disagrees with the stored loss history");
+  }
+  return serialize::Status::Ok();
+}
+
+}  // namespace
+
 std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
                                         const NoiseSchedule& schedule,
                                         const data::ImputationTask& task,
@@ -53,8 +148,37 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
   }
   nn::MultiStepLr scheduler(&optimizer, milestones, options.lr_decay);
 
+  std::optional<nn::EmaWeights> ema;
+  if (options.ema_decay > 0.0f) {
+    ema.emplace(model->Parameters(), options.ema_decay);
+  }
+
+  bool wants_checkpointing =
+      !options.checkpoint_dir.empty() || !options.resume_from.empty();
+  nn::Module* module = dynamic_cast<nn::Module*>(model);
+  PRISTI_CHECK(!wants_checkpointing || module != nullptr)
+      << "checkpointing requires the noise predictor to be an nn::Module";
+
+  int64_t start_epoch = 0;
   std::vector<double> epoch_losses;
-  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+  if (!options.resume_from.empty()) {
+    serialize::Status status = LoadTrainingCheckpoint(
+        options.resume_from, *module, &optimizer,
+        ema ? &*ema : nullptr, &rng, schedule, &start_epoch, &epoch_losses);
+    PRISTI_CHECK(status.ok())
+        << "cannot resume from '" << options.resume_from
+        << "': " << status.ToString();
+    PRISTI_CHECK_LE(start_epoch, options.epochs)
+        << "checkpoint already trained past the requested epoch count";
+  }
+  if (!options.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    PRISTI_CHECK(!ec) << "cannot create checkpoint dir '"
+                      << options.checkpoint_dir << "'";
+  }
+
+  for (int64_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
     std::vector<int64_t> order = rng.Permutation(
         static_cast<int64_t>(samples.size()));
     double loss_sum = 0.0;
@@ -111,6 +235,7 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
                         batch.target_mask);
       loss.Backward();
       optimizer.Step();
+      if (ema) ema->Update();
       loss_sum += loss.value()[0];
       ++step_count;
     }
@@ -118,6 +243,24 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
     epoch_losses.push_back(mean_loss);
     scheduler.Step(epoch + 1);
     if (options.on_epoch) options.on_epoch(epoch, mean_loss);
+
+    int64_t done = epoch + 1;
+    bool last_epoch = done == options.epochs;
+    if (!options.checkpoint_dir.empty() &&
+        (last_epoch || (options.checkpoint_every > 0 &&
+                        done % options.checkpoint_every == 0))) {
+      std::string path = serialize::CheckpointFileName(
+          options.checkpoint_dir, options.checkpoint_prefix, done);
+      serialize::Status status = SaveTrainingCheckpoint(
+          path, *module, optimizer, ema ? &*ema : nullptr, rng, schedule,
+          done, epoch_losses);
+      PRISTI_CHECK(status.ok())
+          << "cannot write checkpoint '" << path << "': " << status.ToString();
+      status = serialize::PruneCheckpoints(options.checkpoint_dir,
+                                           options.checkpoint_prefix,
+                                           options.checkpoint_keep_last);
+      PRISTI_CHECK(status.ok()) << status.ToString();
+    }
   }
   return epoch_losses;
 }

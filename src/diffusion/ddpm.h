@@ -7,6 +7,7 @@
 // multi-sample probabilistic output.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -64,13 +65,42 @@ struct TrainOptions {
   double high_t_bias = 0.0;
   // Optional per-epoch callback (epoch, mean loss).
   std::function<void(int64_t, double)> on_epoch;
+
+  // ---- EMA ----------------------------------------------------------------
+  // When > 0, maintains an exponential moving average of the weights
+  // (updated after every optimizer step); the EMA shadows are part of the
+  // training checkpoint. 0 disables EMA entirely.
+  float ema_decay = 0.0f;
+
+  // ---- Checkpointing / resume ---------------------------------------------
+  // When `checkpoint_dir` is non-empty, the trainer writes
+  // "<dir>/<prefix>-<epochs completed>.ckpt" after every `checkpoint_every`
+  // epochs (and after the final epoch). Writes are atomic (temp file +
+  // rename), and only the newest `checkpoint_keep_last` files are kept
+  // (<= 0 keeps everything). A training checkpoint holds model parameters,
+  // Adam state, EMA shadows, the RNG stream position, the noise-schedule
+  // betas and the loss history — everything needed to resume bit-identically.
+  std::string checkpoint_dir;
+  std::string checkpoint_prefix = "ckpt";
+  int64_t checkpoint_every = 1;
+  int64_t checkpoint_keep_last = 3;
+  // When non-empty, restores a training checkpoint before the first epoch
+  // and continues from the stored epoch: the resumed run's parameters and
+  // loss trajectory are bit-identical to an uninterrupted run. The
+  // checkpoint's schedule betas and optimizer/EMA configuration must match
+  // the live ones; any mismatch or file damage aborts with the typed
+  // serialize error in the message (a silently different trajectory would
+  // be worse than a crash). Requires `model` to also be an nn::Module.
+  std::string resume_from;
 };
 
 // Algorithm 1. Trains `model` on the task's training windows: each step
 // re-masks the window with the configured strategy, interpolates the
 // remaining observations, q-samples a diffusion step and regresses the
 // predicted noise against the truth on the masked entries.
-// Returns the per-epoch mean training loss.
+// Returns the per-epoch mean training loss; on resume the restored epochs'
+// losses are included, so the result always covers epoch 0..epochs-1 and can
+// be compared directly against an uninterrupted run.
 std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
                                         const NoiseSchedule& schedule,
                                         const data::ImputationTask& task,

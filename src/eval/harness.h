@@ -62,6 +62,12 @@ class DiffusionImputerAdapter : public Imputer {
     return options_.impute;
   }
 
+  // Training knobs applied by the next Fit(); exposes the checkpoint/resume
+  // options (TrainOptions::checkpoint_dir / resume_from / ema_decay / ...)
+  // so the CLI and studies can thread them through without widening Fit's
+  // signature.
+  diffusion::TrainOptions& mutable_train_options() { return options_.train; }
+
  private:
   std::string name_;
   std::shared_ptr<diffusion::ConditionalNoisePredictor> model_;

@@ -1,5 +1,7 @@
 #include "nn/ema.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace pristi::nn {
@@ -30,6 +32,13 @@ void EmaWeights::Update() {
       ps[j] = decay_ * ps[j] + (1.0f - decay_) * pl[j];
     }
   }
+}
+
+void EmaWeights::RestoreShadow(std::vector<Tensor> shadow) {
+  PRISTI_CHECK(!shadow_applied_)
+      << "RestoreShadow() while shadow weights are applied";
+  PRISTI_CHECK_EQ(shadow.size(), params_.size());
+  shadow_ = std::move(shadow);
 }
 
 void EmaWeights::ApplyShadow() {

@@ -28,6 +28,12 @@ class EmaWeights {
 
   float decay() const { return decay_; }
 
+  // Checkpoint access (serialize/checkpoint.h).
+  const std::vector<tensor::Tensor>& shadow() const { return shadow_; }
+  // Replaces the shadow weights wholesale; the caller has already validated
+  // counts and shapes. Must not be called while ApplyShadow() is active.
+  void RestoreShadow(std::vector<tensor::Tensor> shadow);
+
  private:
   std::vector<autograd::Variable> params_;
   std::vector<tensor::Tensor> shadow_;

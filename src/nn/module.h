@@ -19,6 +19,7 @@
 
 #include "autograd/variable.h"
 #include "common/rng.h"
+#include "serialize/status.h"
 
 namespace pristi::nn {
 
@@ -49,6 +50,14 @@ class Module {
   void Load(std::istream& in);
   bool SaveToFile(const std::string& path);
   bool LoadFromFile(const std::string& path);
+
+  // Versioned, checksummed checkpoint format (src/serialize/). Unlike the
+  // legacy Save/Load above, every failure mode — truncation, corruption,
+  // version skew, shape mismatch — comes back as a typed error instead of a
+  // CHECK abort. Defined in serialize/checkpoint.cc: the nn layer does not
+  // link pristi_serialize, callers of these two members must.
+  serialize::Status SaveCheckpoint(std::ostream& out);
+  serialize::Status LoadCheckpoint(std::istream& in);
 
  protected:
   // Registers a parameter initialized to `init`; the returned Variable

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
@@ -60,6 +61,16 @@ void Adam::Step() {
 
 void Adam::ZeroGrad() {
   for (Variable& p : params_) p.ZeroGrad();
+}
+
+void Adam::RestoreState(int64_t step_count, std::vector<Tensor> m,
+                        std::vector<Tensor> v) {
+  PRISTI_CHECK_GE(step_count, 0);
+  PRISTI_CHECK_EQ(m.size(), params_.size());
+  PRISTI_CHECK_EQ(v.size(), params_.size());
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 MultiStepLr::MultiStepLr(Adam* optimizer, std::vector<int64_t> milestones,

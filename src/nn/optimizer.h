@@ -31,6 +31,18 @@ class Adam {
   void set_lr(float lr) { options_.lr = lr; }
   int64_t step_count() const { return step_count_; }
 
+  // Checkpoint access (serialize/checkpoint.h). The moment buffers are
+  // allocated lazily on the first Step(); until then they are zero tensors
+  // shaped like their parameters, so a freshly constructed optimizer is
+  // still fully serializable.
+  const AdamOptions& options() const { return options_; }
+  const std::vector<tensor::Tensor>& moment1() const { return m_; }
+  const std::vector<tensor::Tensor>& moment2() const { return v_; }
+  // Replaces step count and moment buffers wholesale; the caller (the
+  // checkpoint loader) has already validated counts and shapes.
+  void RestoreState(int64_t step_count, std::vector<tensor::Tensor> m,
+                    std::vector<tensor::Tensor> v);
+
  private:
   std::vector<autograd::Variable> params_;
   AdamOptions options_;

@@ -1,0 +1,427 @@
+#include "serialize/format.h"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace pristi::serialize {
+
+namespace t = ::pristi::tensor;
+
+namespace {
+
+// Record names are free-form but short; a multi-megabyte length is always
+// corruption, and bounding it keeps a flipped length bit from triggering a
+// giant allocation before the CRC check can reject the record.
+constexpr uint64_t kMaxNameLen = 1 << 16;
+constexpr int64_t kMaxTensorRank = 8;
+constexpr int64_t kMaxTensorNumel = int64_t{1} << 31;
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+template <typename T>
+void AppendRaw(std::string* out, const T& value) {
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  out->append(bytes, sizeof(T));
+}
+
+// Reads a fixed-size little-endian value from `bytes` at `pos`; the caller
+// has already bounds-checked.
+template <typename T>
+T ReadRaw(const std::string& bytes, size_t pos) {
+  T value;
+  std::memcpy(&value, bytes.data() + pos, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+const char* RecordTagName(RecordTag tag) {
+  switch (tag) {
+    case RecordTag::kEnd: return "end";
+    case RecordTag::kTensor: return "tensor";
+    case RecordTag::kI64: return "i64";
+    case RecordTag::kF64: return "f64";
+    case RecordTag::kF64List: return "f64-list";
+    case RecordTag::kString: return "string";
+  }
+  return "unknown";
+}
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static constexpr std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// ---- Writer ----------------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(std::ostream& out) : out_(out) {
+  out_.write(kMagic, sizeof(kMagic));
+  uint32_t version = kFormatVersion;
+  out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
+}
+
+void CheckpointWriter::AddRecord(RecordTag tag, const std::string& name,
+                                 const std::string& payload) {
+  std::string record;
+  record.reserve(20 + name.size() + payload.size());
+  AppendRaw(&record, static_cast<uint32_t>(tag));
+  AppendRaw(&record, static_cast<uint32_t>(name.size()));
+  record.append(name);
+  AppendRaw(&record, static_cast<uint64_t>(payload.size()));
+  record.append(payload);
+  uint32_t crc = Crc32(record.data(), record.size());
+  AppendRaw(&record, crc);
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+}
+
+void CheckpointWriter::AddTensor(const std::string& name,
+                                 const tensor::Tensor& tensor) {
+  std::string payload;
+  payload.reserve(4 + 8 * static_cast<size_t>(tensor.ndim()) +
+                  4 * static_cast<size_t>(tensor.numel()));
+  AppendRaw(&payload, static_cast<uint32_t>(tensor.ndim()));
+  for (int64_t i = 0; i < tensor.ndim(); ++i) {
+    AppendRaw(&payload, tensor.dim(i));
+  }
+  if (tensor.numel() > 0) {  // a numel-0 tensor may have a null data pointer
+    payload.append(reinterpret_cast<const char*>(tensor.data()),
+                   static_cast<size_t>(tensor.numel()) * sizeof(float));
+  }
+  AddRecord(RecordTag::kTensor, name, payload);
+}
+
+void CheckpointWriter::AddI64(const std::string& name, int64_t value) {
+  std::string payload;
+  AppendRaw(&payload, value);
+  AddRecord(RecordTag::kI64, name, payload);
+}
+
+void CheckpointWriter::AddF64(const std::string& name, double value) {
+  std::string payload;
+  AppendRaw(&payload, value);
+  AddRecord(RecordTag::kF64, name, payload);
+}
+
+void CheckpointWriter::AddF64List(const std::string& name,
+                                  const std::vector<double>& values) {
+  std::string payload;
+  payload.reserve(8 + 8 * values.size());
+  AppendRaw(&payload, static_cast<uint64_t>(values.size()));
+  for (double value : values) AppendRaw(&payload, value);
+  AddRecord(RecordTag::kF64List, name, payload);
+}
+
+void CheckpointWriter::AddString(const std::string& name,
+                                 const std::string& value) {
+  AddRecord(RecordTag::kString, name, value);
+}
+
+bool CheckpointWriter::Finish() {
+  if (!finished_) {
+    AddRecord(RecordTag::kEnd, "", "");
+    out_.flush();
+    finished_ = true;
+  }
+  return static_cast<bool>(out_);
+}
+
+// ---- Reader ----------------------------------------------------------------
+
+namespace {
+
+// Reads exactly `n` bytes into `out`; false on short read.
+bool ReadBytes(std::istream& in, size_t n, std::string* out) {
+  out->resize(n);
+  if (n == 0) return true;
+  in.read(out->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status CheckpointView::Parse(std::istream& in, CheckpointView* view,
+                             bool keep_corrupt) {
+  view->records_.clear();
+  view->format_version_ = 0;
+
+  in.clear();
+  in.seekg(0, std::ios::end);
+  if (!in.good()) {
+    return Status::Error(ErrorCode::kIoError, "stream is not seekable");
+  }
+  uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  std::string header;
+  if (file_size < sizeof(kMagic) + sizeof(uint32_t) ||
+      !ReadBytes(in, sizeof(kMagic) + sizeof(uint32_t), &header)) {
+    return Status::Error(ErrorCode::kTruncated,
+                         "file is shorter than the checkpoint header");
+  }
+  if (std::memcmp(header.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error(ErrorCode::kBadMagic,
+                         "missing PRSTCKPT magic; not a checkpoint file");
+  }
+  view->format_version_ = ReadRaw<uint32_t>(header, sizeof(kMagic));
+  if (view->format_version_ != kFormatVersion) {
+    return Status::Error(
+        ErrorCode::kVersionSkew,
+        "checkpoint format version " + std::to_string(view->format_version_) +
+            " does not match this build's version " +
+            std::to_string(kFormatVersion));
+  }
+
+  uint64_t pos = sizeof(kMagic) + sizeof(uint32_t);
+  Status first_error = Status::Ok();
+  auto fail = [&](ErrorCode code, const std::string& message) {
+    if (first_error.ok()) first_error = Status::Error(code, message);
+    return first_error;
+  };
+
+  bool saw_end = false;
+  while (!saw_end) {
+    Record record;
+    record.offset = pos;
+    std::string fixed;
+    if (file_size - pos < 8 || !ReadBytes(in, 8, &fixed)) {
+      return fail(ErrorCode::kTruncated,
+                  "file ends before the end record (offset " +
+                      std::to_string(pos) + ")");
+    }
+    uint32_t raw_tag = ReadRaw<uint32_t>(fixed, 0);
+    uint64_t name_len = ReadRaw<uint32_t>(fixed, 4);
+    pos += 8;
+    if (name_len > kMaxNameLen || name_len > file_size - pos) {
+      return fail(ErrorCode::kBadRecord,
+                  "implausible record name length " +
+                      std::to_string(name_len) + " at offset " +
+                      std::to_string(record.offset));
+    }
+    if (!ReadBytes(in, static_cast<size_t>(name_len), &record.name)) {
+      return fail(ErrorCode::kTruncated, "file ends inside a record name");
+    }
+    pos += name_len;
+    std::string len_bytes;
+    if (file_size - pos < 8 || !ReadBytes(in, 8, &len_bytes)) {
+      return fail(ErrorCode::kTruncated,
+                  "file ends before the payload length of record '" +
+                      record.name + "'");
+    }
+    uint64_t payload_len = ReadRaw<uint64_t>(len_bytes, 0);
+    pos += 8;
+    if (payload_len > file_size - pos) {
+      return fail(ErrorCode::kTruncated,
+                  "payload of record '" + record.name + "' (" +
+                      std::to_string(payload_len) +
+                      " bytes) extends past the end of the file");
+    }
+    if (!ReadBytes(in, static_cast<size_t>(payload_len), &record.payload)) {
+      return fail(ErrorCode::kTruncated,
+                  "file ends inside the payload of record '" + record.name +
+                      "'");
+    }
+    pos += payload_len;
+    std::string crc_bytes;
+    if (file_size - pos < 4 || !ReadBytes(in, 4, &crc_bytes)) {
+      return fail(ErrorCode::kTruncated,
+                  "file ends before the checksum of record '" + record.name +
+                      "'");
+    }
+    record.stored_crc = ReadRaw<uint32_t>(crc_bytes, 0);
+    pos += 4;
+
+    uint32_t crc = Crc32(fixed.data(), fixed.size());
+    crc = Crc32(record.name.data(), record.name.size(), crc);
+    crc = Crc32(len_bytes.data(), len_bytes.size(), crc);
+    crc = Crc32(record.payload.data(), record.payload.size(), crc);
+    record.crc_ok = crc == record.stored_crc;
+    record.tag = static_cast<RecordTag>(raw_tag);
+    record.byte_size = pos - record.offset;
+    if (!record.crc_ok) {
+      Status error = Status::Error(
+          ErrorCode::kChecksumMismatch,
+          "record '" + record.name + "' at offset " +
+              std::to_string(record.offset) + " failed its CRC-32 check");
+      if (!keep_corrupt) return error;
+      if (first_error.ok()) first_error = error;
+    }
+    saw_end = record.crc_ok && record.tag == RecordTag::kEnd;
+    view->records_.push_back(std::move(record));
+    if (!saw_end && pos >= file_size) {
+      return fail(ErrorCode::kTruncated,
+                  "file ends before the end record");
+    }
+  }
+  if (pos != file_size) {
+    return fail(ErrorCode::kBadRecord,
+                std::to_string(file_size - pos) +
+                    " trailing bytes after the end record");
+  }
+  return first_error;
+}
+
+const Record* CheckpointView::Find(const std::string& name) const {
+  for (const Record& record : records_) {
+    if (record.tag != RecordTag::kEnd && record.name == name) return &record;
+  }
+  return nullptr;
+}
+
+Status CheckpointView::CheckedRecord(const std::string& name, RecordTag tag,
+                                     const Record** out) const {
+  const Record* record = Find(name);
+  if (record == nullptr) {
+    return Status::Error(ErrorCode::kMissingRecord,
+                         "checkpoint has no record named '" + name + "'");
+  }
+  if (!record->crc_ok) {
+    return Status::Error(ErrorCode::kChecksumMismatch,
+                         "record '" + name + "' failed its CRC-32 check");
+  }
+  if (record->tag != tag) {
+    return Status::Error(
+        ErrorCode::kTypeMismatch,
+        "record '" + name + "' holds " +
+            std::string(RecordTagName(record->tag)) + ", expected " +
+            RecordTagName(tag));
+  }
+  *out = record;
+  return Status::Ok();
+}
+
+Status DecodeTensorPayload(const std::string& payload, tensor::Tensor* out) {
+  if (payload.size() < sizeof(uint32_t)) {
+    return Status::Error(ErrorCode::kBadRecord,
+                         "tensor payload shorter than its rank field");
+  }
+  uint32_t ndim = ReadRaw<uint32_t>(payload, 0);
+  if (ndim > kMaxTensorRank) {
+    return Status::Error(ErrorCode::kBadRecord,
+                         "implausible tensor rank " + std::to_string(ndim));
+  }
+  size_t header = sizeof(uint32_t) + sizeof(int64_t) * ndim;
+  if (payload.size() < header) {
+    return Status::Error(ErrorCode::kBadRecord,
+                         "tensor payload shorter than its shape");
+  }
+  t::Shape shape(ndim);
+  int64_t numel = 1;
+  for (uint32_t i = 0; i < ndim; ++i) {
+    int64_t dim = ReadRaw<int64_t>(payload, sizeof(uint32_t) +
+                                                sizeof(int64_t) * i);
+    if (dim < 0 || (dim > 0 && numel > kMaxTensorNumel / dim)) {
+      return Status::Error(ErrorCode::kBadRecord,
+                           "implausible tensor dimension " +
+                               std::to_string(dim));
+    }
+    shape[i] = dim;
+    numel *= dim;
+  }
+  // An empty shape denotes a scalar (numel 1) in this library, matching
+  // Tensor's convention; zero dims give numel 0.
+  size_t expected = header + sizeof(float) * static_cast<size_t>(numel);
+  if (payload.size() != expected) {
+    return Status::Error(
+        ErrorCode::kBadRecord,
+        "tensor payload is " + std::to_string(payload.size()) +
+            " bytes, expected " + std::to_string(expected) + " for shape " +
+            t::ShapeToString(shape));
+  }
+  t::Tensor result(shape);
+  if (numel > 0) {  // a numel-0 tensor may have a null data pointer
+    std::memcpy(result.data(), payload.data() + header,
+                sizeof(float) * static_cast<size_t>(numel));
+  }
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+Status CheckpointView::GetTensor(const std::string& name,
+                                 tensor::Tensor* out) const {
+  const Record* record = nullptr;
+  Status status = CheckedRecord(name, RecordTag::kTensor, &record);
+  if (!status.ok()) return status;
+  status = DecodeTensorPayload(record->payload, out);
+  if (!status.ok()) {
+    return Status::Error(status.code(),
+                         "record '" + name + "': " + status.message());
+  }
+  return Status::Ok();
+}
+
+Status CheckpointView::GetI64(const std::string& name, int64_t* out) const {
+  const Record* record = nullptr;
+  Status status = CheckedRecord(name, RecordTag::kI64, &record);
+  if (!status.ok()) return status;
+  if (record->payload.size() != sizeof(int64_t)) {
+    return Status::Error(ErrorCode::kBadRecord,
+                         "record '" + name + "' has a malformed i64 payload");
+  }
+  *out = ReadRaw<int64_t>(record->payload, 0);
+  return Status::Ok();
+}
+
+Status CheckpointView::GetF64(const std::string& name, double* out) const {
+  const Record* record = nullptr;
+  Status status = CheckedRecord(name, RecordTag::kF64, &record);
+  if (!status.ok()) return status;
+  if (record->payload.size() != sizeof(double)) {
+    return Status::Error(ErrorCode::kBadRecord,
+                         "record '" + name + "' has a malformed f64 payload");
+  }
+  *out = ReadRaw<double>(record->payload, 0);
+  return Status::Ok();
+}
+
+Status CheckpointView::GetF64List(const std::string& name,
+                                  std::vector<double>* out) const {
+  const Record* record = nullptr;
+  Status status = CheckedRecord(name, RecordTag::kF64List, &record);
+  if (!status.ok()) return status;
+  const std::string& payload = record->payload;
+  if (payload.size() < sizeof(uint64_t)) {
+    return Status::Error(ErrorCode::kBadRecord,
+                         "record '" + name + "' has a malformed list payload");
+  }
+  uint64_t count = ReadRaw<uint64_t>(payload, 0);
+  if (payload.size() != sizeof(uint64_t) + sizeof(double) * count) {
+    return Status::Error(ErrorCode::kBadRecord,
+                         "record '" + name +
+                             "' list length disagrees with its payload size");
+  }
+  out->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    (*out)[i] = ReadRaw<double>(payload, sizeof(uint64_t) + sizeof(double) * i);
+  }
+  return Status::Ok();
+}
+
+Status CheckpointView::GetString(const std::string& name,
+                                 std::string* out) const {
+  const Record* record = nullptr;
+  Status status = CheckedRecord(name, RecordTag::kString, &record);
+  if (!status.ok()) return status;
+  *out = record->payload;
+  return Status::Ok();
+}
+
+}  // namespace pristi::serialize

@@ -10,12 +10,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "bench_common.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "test_tmpdir.h"
 
 namespace pristi::bench {
 namespace {
@@ -113,7 +115,15 @@ TEST(SamplerBench, SamplesPerSecondSweep) {
   };
   run(1, false);  // warm-up: spawn pool workers, touch allocator pools
 
-  std::FILE* json = std::fopen("BENCH_sampler.json", "w");
+  // The JSON artifact goes to PRISTI_BENCH_DIR when a collector sets it;
+  // otherwise to a per-test temp dir (never the CWD, which may be the
+  // source tree).
+  pristi::testing::TestTempDir tmp;
+  const char* bench_dir = std::getenv("PRISTI_BENCH_DIR");
+  std::string json_path = bench_dir != nullptr
+                              ? std::string(bench_dir) + "/BENCH_sampler.json"
+                              : tmp.File("BENCH_sampler.json");
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
   ASSERT_NE(json, nullptr);
   std::fprintf(json,
                "{\n"
@@ -158,7 +168,7 @@ TEST(SamplerBench, SamplesPerSecondSweep) {
   }
   std::fprintf(json, "\n  ]\n}\n");
   std::fclose(json);
-  std::printf("[json written to BENCH_sampler.json]\n");
+  std::printf("[json written to %s]\n", json_path.c_str());
 }
 
 }  // namespace

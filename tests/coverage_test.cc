@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "autograd/grad_check.h"
+#include "test_tmpdir.h"
 #include "autograd/ops.h"
 #include "baselines/kalman.h"
 #include "baselines/regression.h"
@@ -162,16 +163,14 @@ TEST(FilePersistence, ModuleSaveLoadFileRoundTrip) {
   Rng rng1(7), rng2(8);
   nn::Mlp a(3, 4, 2, rng1);
   nn::Mlp b(3, 4, 2, rng2);
-  std::string path =
-      (std::filesystem::temp_directory_path() / "pristi_ckpt_test.bin")
-          .string();
+  pristi::testing::TestTempDir tmp;
+  std::string path = tmp.File("ckpt.bin");
   ASSERT_TRUE(a.SaveToFile(path));
   ASSERT_TRUE(b.LoadFromFile(path));
   Tensor probe = Tensor::Ones({2, 3});
   EXPECT_TRUE(t::AllClose(a.Forward(ag::Constant(probe)).value(),
                           b.Forward(ag::Constant(probe)).value(), 0.0f,
                           0.0f));
-  std::remove(path.c_str());
 }
 
 TEST(FilePersistence, LoadFromMissingFileFails) {
@@ -183,9 +182,8 @@ TEST(FilePersistence, LoadFromMissingFileFails) {
 TEST(FilePersistence, TablePrinterWritesCsvFile) {
   TablePrinter table({"a", "b"});
   table.AddRow({"1", "2"});
-  std::string path =
-      (std::filesystem::temp_directory_path() / "pristi_table_test.csv")
-          .string();
+  pristi::testing::TestTempDir tmp;
+  std::string path = tmp.File("table.csv");
   ASSERT_TRUE(table.WriteCsv(path));
   std::ifstream in(path);
   std::string line;
@@ -193,7 +191,6 @@ TEST(FilePersistence, TablePrinterWritesCsvFile) {
   EXPECT_EQ(line, "a,b");
   std::getline(in, line);
   EXPECT_EQ(line, "1,2");
-  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@
 #include "data/windows.h"
 #include "metrics/calibration.h"
 #include "metrics/metrics.h"
+#include "test_tmpdir.h"
 
 namespace pristi {
 namespace {
@@ -20,9 +21,6 @@ namespace {
 namespace t = ::pristi::tensor;
 using t::Tensor;
 
-std::string TempPath(const char* name) {
-  return (std::filesystem::temp_directory_path() / name).string();
-}
 
 // ---------------------------------------------------------------------------
 // Flags
@@ -85,7 +83,8 @@ data::SpatioTemporalDataset SmallDataset(uint64_t seed = 1) {
 
 TEST(DatasetIo, BinaryRoundTripLossless) {
   auto dataset = SmallDataset(2);
-  std::string path = TempPath("pristi_ds_test.bin");
+  pristi::testing::TestTempDir tmp;
+  std::string path = tmp.File("ds.bin");
   ASSERT_TRUE(data::WriteBinaryDataset(dataset, path));
   auto loaded = data::ReadBinaryDataset(path);
   EXPECT_EQ(loaded.num_nodes, dataset.num_nodes);
@@ -96,13 +95,13 @@ TEST(DatasetIo, BinaryRoundTripLossless) {
       t::AllClose(loaded.observed_mask, dataset.observed_mask, 0.0f, 0.0f));
   EXPECT_TRUE(t::AllClose(loaded.graph.coords, dataset.graph.coords, 0.0f,
                           0.0f));
-  std::remove(path.c_str());
 }
 
 TEST(DatasetIo, CsvRoundTripPreservesObservedValuesAndMask) {
   auto dataset = SmallDataset(3);
-  std::string values_path = TempPath("pristi_vals_test.csv");
-  std::string coords_path = TempPath("pristi_coords_test.csv");
+  pristi::testing::TestTempDir tmp;
+  std::string values_path = tmp.File("vals.csv");
+  std::string coords_path = tmp.File("coords.csv");
   ASSERT_TRUE(data::WriteCsvDataset(dataset, values_path, coords_path));
   Rng rng(4);
   auto loaded = data::ReadCsvDataset(values_path, coords_path, 24, rng);
@@ -118,8 +117,6 @@ TEST(DatasetIo, CsvRoundTripPreservesObservedValuesAndMask) {
       }
     }
   }
-  std::remove(values_path.c_str());
-  std::remove(coords_path.c_str());
 }
 
 TEST(DatasetIo, MissingFileReturnsEmptyDataset) {

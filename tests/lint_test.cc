@@ -2,6 +2,8 @@
 // a synthetic repository tree and stay silent on conforming files.
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -10,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "pristi_lint_lib.h"
+#include "test_tmpdir.h"
 
 namespace pristi::lint {
 namespace {
@@ -34,15 +37,16 @@ bool HasViolation(const std::vector<Violation>& violations,
   return false;
 }
 
-// A fresh synthetic repo root per test.
+// A fresh synthetic repo root per test, isolated via TestTempDir so
+// parallel ctest invocations cannot collide on a shared fixed path.
 class LintTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = fs::path(::testing::TempDir()) / "pristi_lint_test";
-    fs::remove_all(root_);
+    root_ = tmp_.path() / "repo";
     fs::create_directories(root_);
   }
 
+  pristi::testing::TestTempDir tmp_;
   fs::path root_;
 };
 
@@ -154,6 +158,88 @@ TEST_F(LintTest, LintRepoAggregatesAllRulesAndFormats) {
     EXPECT_NE(line.find(violation.rule), std::string::npos);
     EXPECT_NE(line.find("bad.h"), std::string::npos);
   }
+}
+
+TEST_F(LintTest, CmakeSourceListRuleAuditsTestsToolsAndBench) {
+  // tests/ registers by stem (pristi_add_test(foo_test ...)) — accepted;
+  // an orphan test file must still fire.
+  WriteFileAt(root_ / "tests/listed_test.cc", "int a;\n");
+  WriteFileAt(root_ / "tests/orphan_test.cc", "int b;\n");
+  WriteFileAt(root_ / "tests/CMakeLists.txt",
+              "pristi_add_test(listed_test pristi_common)\n");
+  WriteFileAt(root_ / "tools/orphan_tool.cc", "int c;\n");
+  WriteFileAt(root_ / "tools/CMakeLists.txt", "# nothing registered\n");
+  WriteFileAt(root_ / "bench/orphan_bench.cc", "int d;\n");
+  WriteFileAt(root_ / "bench/CMakeLists.txt", "# nothing registered\n");
+  std::vector<Violation> v = CheckCmakeSourceLists(root_.string());
+  EXPECT_FALSE(HasViolation(v, "cmake-sources", "listed_test.cc"));
+  EXPECT_TRUE(HasViolation(v, "cmake-sources", "orphan_test.cc"));
+  EXPECT_TRUE(HasViolation(v, "cmake-sources", "orphan_tool.cc"));
+  EXPECT_TRUE(HasViolation(v, "cmake-sources", "orphan_bench.cc"));
+}
+
+// Builds a planted src/serialize/format.h whose fingerprint comment is
+// `fingerprint` (hex text) over the given layout region.
+std::string FormatHeaderWith(const std::string& region,
+                             const std::string& fingerprint_line) {
+  return "#ifndef PRISTI_SERIALIZE_FORMAT_H_\n"
+         "#define PRISTI_SERIALIZE_FORMAT_H_\n"
+         "// serialize-layout-begin\n" +
+         region + "// serialize-layout-end\n" + fingerprint_line +
+         "#endif\n";
+}
+
+std::string FingerprintComment(uint32_t fp) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf),
+                "// serialize-layout-fingerprint: 0x%08X\n", fp);
+  return buf;
+}
+
+TEST_F(LintTest, SerializeVersionGuardAcceptsMatchingFingerprint) {
+  std::string region = "inline constexpr uint32_t kFormatVersion = 1;\n";
+  WriteFileAt(root_ / "src/serialize/format.h",
+              FormatHeaderWith(region,
+                               FingerprintComment(LayoutFingerprint(region))));
+  std::vector<Violation> v = CheckSerializeVersionGuard(root_.string());
+  EXPECT_TRUE(v.empty()) << FormatViolation(v.front());
+}
+
+TEST_F(LintTest, SerializeVersionGuardFiresOnLayoutEditWithoutBump) {
+  std::string region = "inline constexpr uint32_t kFormatVersion = 1;\n";
+  std::string stale = FingerprintComment(LayoutFingerprint(region));
+  // Edit the layout (new record tag) but keep the stale fingerprint.
+  std::string edited = region + "enum class RecordTag : uint32_t { kNew };\n";
+  WriteFileAt(root_ / "src/serialize/format.h",
+              FormatHeaderWith(edited, stale));
+  std::vector<Violation> v = CheckSerializeVersionGuard(root_.string());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "serialize-version-guard");
+  EXPECT_NE(v[0].message.find("kFormatVersion"), std::string::npos);
+}
+
+TEST_F(LintTest, SerializeVersionGuardFiresOnMissingMarkersOrComment) {
+  WriteFileAt(root_ / "src/serialize/format.h", "int x;\n");
+  std::vector<Violation> missing_markers =
+      CheckSerializeVersionGuard(root_.string());
+  ASSERT_EQ(missing_markers.size(), 1u);
+  EXPECT_NE(missing_markers[0].message.find("markers"), std::string::npos);
+
+  std::string region = "inline constexpr uint32_t kFormatVersion = 1;\n";
+  WriteFileAt(root_ / "src/serialize/format.h",
+              FormatHeaderWith(region, "// no fingerprint here\n"));
+  std::vector<Violation> missing_comment =
+      CheckSerializeVersionGuard(root_.string());
+  ASSERT_EQ(missing_comment.size(), 1u);
+  EXPECT_NE(missing_comment[0].message.find("missing fingerprint"),
+            std::string::npos);
+}
+
+TEST(LayoutFingerprintTest, MatchesFnv1aReferenceVectors) {
+  // Standard FNV-1a 32-bit reference values.
+  EXPECT_EQ(LayoutFingerprint(""), 0x811C9DC5u);
+  EXPECT_EQ(LayoutFingerprint("a"), 0xE40C292Cu);
+  EXPECT_EQ(LayoutFingerprint("foobar"), 0xBF9CF968u);
 }
 
 TEST_F(LintTest, CleanTreeProducesNoViolations) {

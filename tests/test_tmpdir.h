@@ -1,0 +1,64 @@
+#ifndef PRISTI_TESTS_TEST_TMPDIR_H_
+#define PRISTI_TESTS_TEST_TMPDIR_H_
+
+// Per-test scratch directory for file-writing tests.
+//
+// Every test that writes files (checkpoints, golden regeneration, bench
+// JSON) must route them through a TestTempDir instead of the working
+// directory or fixed names under /tmp: fixed paths collide when the suite
+// runs with `ctest -j` and leak artifacts into the source tree when tests
+// run from a checkout. The directory is created fresh under the system temp
+// root with a name derived from the running test and the process id, and is
+// removed recursively on destruction.
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pristi::testing {
+
+class TestTempDir {
+ public:
+  TestTempDir() {
+    std::string name = "pristi_test";
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info != nullptr) {
+      name += std::string("_") + info->test_suite_name() + "_" + info->name();
+    }
+    for (char& c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    name += "_" + std::to_string(static_cast<long long>(getpid()));
+    path_ = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(path_);  // stale leftovers from a crash
+    std::filesystem::create_directories(path_);
+  }
+
+  ~TestTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort
+  }
+
+  TestTempDir(const TestTempDir&) = delete;
+  TestTempDir& operator=(const TestTempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+
+  // "<dir>/<name>" as a string, for APIs that take file paths.
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace pristi::testing
+
+#endif  // PRISTI_TESTS_TEST_TMPDIR_H_

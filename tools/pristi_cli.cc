@@ -28,6 +28,8 @@
 #include "common/logging.h"
 #include "data/io.h"
 #include "eval/harness.h"
+#include "serialize/checkpoint.h"
+#include "serialize/format.h"
 
 namespace pristi {
 namespace {
@@ -82,6 +84,12 @@ eval::DiffusionRunOptions RunOptions(const Flags& flags,
   options.impute.num_samples = flags.GetInt("samples", 15);
   options.impute.ddim = flags.GetBool("ddim", true);
   options.impute.ddim_stride = flags.GetInt("ddim-stride", 3);
+  options.train.ema_decay =
+      static_cast<float>(flags.GetDouble("ema-decay", 0.0));
+  options.train.checkpoint_dir = flags.GetString("checkpoint-dir");
+  options.train.checkpoint_every = flags.GetInt("checkpoint-every", 1);
+  options.train.checkpoint_keep_last = flags.GetInt("keep-last", 3);
+  options.train.resume_from = flags.GetString("resume");
   switch (task.pattern) {
     case data::MissingPattern::kPoint:
       options.train.mask_strategy = data::MaskStrategy::kPoint;
@@ -157,7 +165,8 @@ int CmdTrain(const Flags& flags) {
   diffusion::TrainDiffusionModel(model.get(), schedule, task, options.train,
                                  rng);
   std::string out = flags.GetString("model-out", "pristi.ckpt");
-  CHECK(model->SaveToFile(out)) << "checkpoint write failed: " << out;
+  serialize::Status status = serialize::SaveModuleCheckpointFile(*model, out);
+  CHECK(status.ok()) << "checkpoint write failed: " << status.ToString();
   std::printf("saved checkpoint to %s\n", out.c_str());
   return 0;
 }
@@ -171,7 +180,10 @@ int CmdImpute(const Flags& flags) {
       config, task.dataset.graph.adjacency, rng);
   std::string ckpt = flags.GetString("model");
   if (!ckpt.empty()) {
-    CHECK(model->LoadFromFile(ckpt)) << "cannot load " << ckpt;
+    serialize::Status status =
+        serialize::LoadModuleCheckpointFileAuto(*model, ckpt);
+    CHECK(status.ok()) << "cannot load " << ckpt << ": "
+                       << status.ToString();
     std::printf("loaded checkpoint %s\n", ckpt.c_str());
   } else {
     PRISTI_LOG_WARNING << "--model not given; imputing with an untrained "
@@ -187,6 +199,100 @@ int CmdImpute(const Flags& flags) {
   std::string out = flags.GetString("out", "imputed.csv");
   CHECK(data::WriteCsvDataset(out_dataset, out));
   std::printf("wrote completed series to %s\n", out.c_str());
+  return 0;
+}
+
+// `save`: writes a freshly initialized (untrained) model in the versioned
+// checkpoint format — a quick way to materialize a checkpoint for a given
+// architecture/seed without a training run.
+int CmdSave(const Flags& flags) {
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  data::ImputationTask task = MakeTaskFromFlags(flags, rng);
+  core::PristiConfig config = ModelConfig(flags, task);
+  core::PristiModel model(config, task.dataset.graph.adjacency, rng);
+  std::string out = flags.GetString("out", "pristi.ckpt");
+  serialize::Status status = serialize::SaveModuleCheckpointFile(model, out);
+  if (!status.ok()) {
+    std::printf("save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %lld parameters to %s\n",
+              static_cast<long long>(model.ParameterCount()), out.c_str());
+  return 0;
+}
+
+// `load`: validates that a checkpoint (new format or legacy) restores into
+// the model architecture described by the flags; with --out it re-saves in
+// the current format, which migrates legacy checkpoints.
+int CmdLoad(const Flags& flags) {
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  data::ImputationTask task = MakeTaskFromFlags(flags, rng);
+  core::PristiConfig config = ModelConfig(flags, task);
+  core::PristiModel model(config, task.dataset.graph.adjacency, rng);
+  std::string path = flags.GetString("model");
+  if (path.empty()) {
+    std::printf("load: --model=<checkpoint> is required\n");
+    return 2;
+  }
+  serialize::Status status =
+      serialize::LoadModuleCheckpointFileAuto(model, path);
+  if (!status.ok()) {
+    std::printf("load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %lld parameters from %s\n",
+              static_cast<long long>(model.ParameterCount()), path.c_str());
+  std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    status = serialize::SaveModuleCheckpointFile(model, out);
+    if (!status.ok()) {
+      std::printf("re-save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("re-saved in format v%u to %s\n", serialize::kFormatVersion,
+                out.c_str());
+  }
+  return 0;
+}
+
+// `inspect`: dumps the container header and full record table (offsets,
+// sizes, types, per-record checksum verdicts, tensor shapes). Parses as far
+// as the structure allows so a damaged file still shows its intact prefix.
+int CmdInspect(const Flags& flags) {
+  std::string path = flags.GetString("file");
+  if (path.empty()) {
+    std::printf("inspect: --file=<checkpoint> is required\n");
+    return 2;
+  }
+  serialize::CheckpointView view;
+  serialize::Status status =
+      serialize::ParseCheckpointFile(path, &view, /*keep_corrupt=*/true);
+  if (view.records().empty() && !status.ok()) {
+    std::printf("%s: %s\n", path.c_str(), status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: checkpoint format v%u, %zu records\n", path.c_str(),
+              view.format_version(), view.records().size());
+  std::printf("%10s %10s  %-8s %-4s name\n", "offset", "size", "type", "crc");
+  for (const serialize::Record& record : view.records()) {
+    std::string detail;
+    if (record.tag == serialize::RecordTag::kTensor && record.crc_ok) {
+      tensor::Tensor t;
+      if (serialize::DecodeTensorPayload(record.payload, &t).ok()) {
+        detail = "  shape " + tensor::ShapeToString(t.shape());
+      }
+    }
+    std::printf("%10llu %10llu  %-8s %-4s %s%s\n",
+                static_cast<unsigned long long>(record.offset),
+                static_cast<unsigned long long>(record.byte_size),
+                serialize::RecordTagName(record.tag),
+                record.crc_ok ? "ok" : "BAD", record.name.c_str(),
+                detail.c_str());
+  }
+  if (!status.ok()) {
+    std::printf("damage detected: %s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -263,12 +369,18 @@ int CmdEvaluate(const Flags& flags) {
 
 int Usage() {
   std::printf(
-      "usage: pristi_cli <generate|train|impute|evaluate> [--flags]\n"
+      "usage: pristi_cli "
+      "<generate|train|impute|evaluate|save|load|inspect> [--flags]\n"
       "  generate --preset=aqi|metr|pems --nodes=N --steps=T --out=F.bin\n"
       "  train    --data=F.bin --pattern=point|block|failure --epochs=E\n"
-      "           --model-out=F.ckpt\n"
+      "           --model-out=F.ckpt [--checkpoint-dir=D]\n"
+      "           [--checkpoint-every=K] [--keep-last=K] [--ema-decay=D]\n"
+      "           [--resume=D/ckpt-N.ckpt]\n"
       "  impute   --data=F.bin --pattern=... --model=F.ckpt --out=F.csv\n"
-      "  evaluate --data=F.bin --pattern=... --method=pristi|csdi|mean|...\n");
+      "  evaluate --data=F.bin --pattern=... --method=pristi|csdi|mean|...\n"
+      "  save     --out=F.ckpt [model flags]    write a fresh model\n"
+      "  load     --model=F.ckpt [--out=G.ckpt] validate / migrate\n"
+      "  inspect  --file=F.ckpt                 dump the record table\n");
   return 2;
 }
 
@@ -285,6 +397,12 @@ int Main(int argc, char** argv) {
     status = CmdImpute(flags);
   } else if (command == "evaluate") {
     status = CmdEvaluate(flags);
+  } else if (command == "save") {
+    status = CmdSave(flags);
+  } else if (command == "load") {
+    status = CmdLoad(flags);
+  } else if (command == "inspect") {
+    status = CmdInspect(flags);
   } else {
     return Usage();
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <regex>
@@ -216,12 +217,17 @@ std::vector<Violation> CheckBannedPatterns(const std::string& repo_root) {
 
 std::vector<Violation> CheckCmakeSourceLists(const std::string& repo_root) {
   std::vector<Violation> violations;
-  fs::path src = fs::path(repo_root) / "src";
-  if (!fs::exists(src)) return violations;
   std::vector<fs::path> dirs;
-  dirs.push_back(src);
-  for (const auto& entry : fs::recursive_directory_iterator(src)) {
-    if (entry.is_directory()) dirs.push_back(entry.path());
+  // tests/, tools/ and bench/ are audited alongside src/: a test file that
+  // drops out of tests/CMakeLists.txt stops running without anything
+  // failing, which is the worst kind of coverage loss.
+  for (const char* root_dir : {"src", "tests", "tools", "bench"}) {
+    fs::path root = fs::path(repo_root) / root_dir;
+    if (!fs::exists(root)) continue;
+    dirs.push_back(root);
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_directory()) dirs.push_back(entry.path());
+    }
   }
   std::sort(dirs.begin(), dirs.end());
   for (const fs::path& dir : dirs) {
@@ -237,7 +243,12 @@ std::vector<Violation> CheckCmakeSourceLists(const std::string& repo_root) {
     std::sort(sources.begin(), sources.end());
     for (const fs::path& source : sources) {
       std::string name = source.filename().string();
-      if (cmake_text.find(name) == std::string::npos) {
+      // Accept either the file name or its stem as a whole token: the test
+      // and bench CMake helpers register targets by stem
+      // (`pristi_add_test(foo_test ...)`) rather than by foo_test.cc.
+      std::regex stem_re(R"(\b)" + source.stem().string() + R"(\b)");
+      if (cmake_text.find(name) == std::string::npos &&
+          !std::regex_search(cmake_text, stem_re)) {
         violations.push_back(
             {RelPath(cmake, repo_root), 0, "cmake-sources",
              "sibling source " + name +
@@ -272,10 +283,70 @@ std::vector<Violation> CheckGradCoverage(const std::string& repo_root) {
   return violations;
 }
 
+uint32_t LayoutFingerprint(const std::string& text) {
+  uint32_t hash = 2166136261u;  // FNV-1a offset basis
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 16777619u;  // FNV prime
+  }
+  return hash;
+}
+
+std::vector<Violation> CheckSerializeVersionGuard(
+    const std::string& repo_root) {
+  std::vector<Violation> violations;
+  const std::string rel = "src/serialize/format.h";
+  fs::path header = fs::path(repo_root) / "src" / "serialize" / "format.h";
+  if (!fs::exists(header)) return violations;
+  // Raw text, not stripped: the markers and the fingerprint live in
+  // comments by design.
+  std::string text = ReadFile(header);
+  // The markers must stand alone on their own comment lines; prose that
+  // merely mentions them (like the format doc at the top of the header)
+  // does not match.
+  const std::string begin_marker = "\n// serialize-layout-begin\n";
+  const std::string end_marker = "\n// serialize-layout-end\n";
+  size_t begin = text.find(begin_marker);
+  size_t end = text.find(end_marker);
+  if (begin == std::string::npos || end == std::string::npos || end <= begin) {
+    violations.push_back({rel, 0, "serialize-version-guard",
+                          "serialize-layout-begin/-end markers are missing "
+                          "or out of order"});
+    return violations;
+  }
+  // Fingerprint the lines strictly between the marker lines.
+  size_t region_start = begin + begin_marker.size();
+  std::string region = text.substr(region_start, end + 1 - region_start);
+  uint32_t actual = LayoutFingerprint(region);
+  char expected_comment[64];
+  std::snprintf(expected_comment, sizeof(expected_comment),
+                "serialize-layout-fingerprint: 0x%08X", actual);
+  static const std::regex fp_re(
+      R"(serialize-layout-fingerprint:\s*0x([0-9a-fA-F]{8}))");
+  std::smatch m;
+  if (!std::regex_search(text, m, fp_re)) {
+    violations.push_back({rel, 0, "serialize-version-guard",
+                          "missing fingerprint comment; add `// " +
+                              std::string(expected_comment) + "`"});
+    return violations;
+  }
+  uint32_t stored =
+      static_cast<uint32_t>(std::stoul(m[1].str(), nullptr, 16));
+  if (stored != actual) {
+    violations.push_back(
+        {rel, 0, "serialize-version-guard",
+         "checkpoint layout changed without a version bump: bump "
+         "kFormatVersion, then update the comment to `// " +
+             std::string(expected_comment) + "`"});
+  }
+  return violations;
+}
+
 std::vector<Violation> LintRepo(const std::string& repo_root) {
   std::vector<Violation> all;
   for (auto* rule : {CheckHeaderGuards, CheckBannedPatterns,
-                     CheckCmakeSourceLists, CheckGradCoverage}) {
+                     CheckCmakeSourceLists, CheckGradCoverage,
+                     CheckSerializeVersionGuard}) {
     std::vector<Violation> found = rule(repo_root);
     all.insert(all.end(), found.begin(), found.end());
   }

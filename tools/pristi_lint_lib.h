@@ -10,17 +10,26 @@
 //   banned-pattern     no `rand()` (use pristi::Rng), no `std::cout`
 //                      (return values or use logging), and no naked `new`
 //                      (use make_shared/make_unique/containers) in src/.
-//   cmake-sources      every CMakeLists.txt under src/ lists all sibling
-//                      .cc files, so no translation unit silently drops
-//                      out of the build.
+//   cmake-sources      every CMakeLists.txt under src/, tests/, tools/ and
+//                      bench/ lists all sibling .cc files, so no
+//                      translation unit (or test) silently drops out of
+//                      the build.
 //   grad-coverage      every differentiable op declared in
 //                      src/autograd/ops.h is exercised somewhere in
 //                      tests/autograd_test.cc (the finite-difference /
 //                      closed-form gradient matrix).
+//   serialize-version-guard
+//                      the checkpoint-layout constants in
+//                      src/serialize/format.h (between the
+//                      serialize-layout-begin/-end markers) carry a
+//                      fingerprint comment; editing the layout without
+//                      refreshing it — i.e. without consciously bumping
+//                      kFormatVersion — fails the lint.
 //
 // Pattern rules operate on comment- and string-literal-stripped source, so
 // mentioning a banned construct in documentation is fine.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,11 +56,16 @@ std::string CanonicalHeaderGuard(const std::string& rel_path);
 // ops.h source.
 std::vector<std::string> DifferentiableOps(const std::string& ops_header);
 
+// FNV-1a 32-bit hash of `text`; the fingerprint the serialize-version-guard
+// rule compares against the comment in src/serialize/format.h.
+uint32_t LayoutFingerprint(const std::string& text);
+
 // Individual rules; `repo_root` is the repository checkout root.
 std::vector<Violation> CheckHeaderGuards(const std::string& repo_root);
 std::vector<Violation> CheckBannedPatterns(const std::string& repo_root);
 std::vector<Violation> CheckCmakeSourceLists(const std::string& repo_root);
 std::vector<Violation> CheckGradCoverage(const std::string& repo_root);
+std::vector<Violation> CheckSerializeVersionGuard(const std::string& repo_root);
 
 // All rules.
 std::vector<Violation> LintRepo(const std::string& repo_root);
