@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "tensor/storage.h"
 
 namespace pristi::bench {
 namespace {
@@ -74,6 +75,22 @@ std::unique_ptr<Imputer> MakeMethod(Method method,
   return nullptr;
 }
 
+// Attaches buffer-pool counters for the measured phase: total tensor
+// allocations, how many missed the pool and hit the heap, and the pool hit
+// rate. A hit rate near 1 means the phase runs almost allocation-free.
+void ReportAllocCounters(benchmark::State& state,
+                         const tensor::AllocStats& before,
+                         const tensor::AllocStats& after) {
+  double requests = static_cast<double>(after.requests - before.requests);
+  double heap = static_cast<double>(after.heap_allocs - before.heap_allocs);
+  state.counters["alloc_requests"] = requests;
+  state.counters["heap_allocs"] = heap;
+  state.counters["pool_hit_rate"] =
+      requests > 0.0 ? (requests - heap) / requests : 0.0;
+  state.counters["peak_live_mb"] =
+      static_cast<double>(after.peak_live_bytes) / (1024.0 * 1024.0);
+}
+
 // Fits with a 1-epoch budget -> measures one training epoch.
 void BM_TrainEpoch(benchmark::State& state) {
   Preset preset = static_cast<Preset>(state.range(0));
@@ -85,10 +102,12 @@ void BM_TrainEpoch(benchmark::State& state) {
   data::ImputationTask& task = CachedTask(preset);
   Rng rng(11);
   auto imputer = MakeMethod(method, task, scale, rng);
+  tensor::AllocStats before = tensor::GetAllocStats();
   for (auto _ : state) {
     Rng fit_rng(12);
     imputer->Fit(task, fit_rng);
   }
+  ReportAllocCounters(state, before, tensor::GetAllocStats());
   state.SetLabel(std::string(MethodName(method)) + " / " +
                  PresetName(preset));
 }
@@ -108,10 +127,12 @@ void BM_ImputeWindow(benchmark::State& state) {
   Rng fit_rng(14);
   imputer->Fit(task, fit_rng);
   data::Sample window = data::ExtractSamples(task, "test").front();
+  tensor::AllocStats before = tensor::GetAllocStats();
   for (auto _ : state) {
     Rng run_rng(15);
     benchmark::DoNotOptimize(imputer->Impute(window, run_rng));
   }
+  ReportAllocCounters(state, before, tensor::GetAllocStats());
   // Diffusion methods also report reverse-diffusion sampling throughput
   // (generated samples per wall-clock second across the whole run).
   if (auto* adapter = dynamic_cast<eval::DiffusionImputerAdapter*>(

@@ -39,9 +39,15 @@ void MaybeCheckFinite(const char* name, const Tensor& value,
 // expected to call AccumulateGrad on the captured parent nodes. If no input
 // requires grad, the edge is pruned and the output is a constant. `name`
 // labels the op in NaN-attribution and tape-misuse diagnostics.
-Variable MakeOp(const char* name, Tensor value,
-                const std::vector<Variable>& inputs,
-                std::function<void(const Tensor&)> backward) {
+//
+// Templated on the closure so that under NoGradGuard the lambda is never
+// converted to a std::function (skipping its heap allocation): inference
+// nodes carry the value only — no parent edges, no closure — which lets the
+// buffers of intermediate activations return to the pool as soon as their
+// last Variable dies.
+template <typename BackwardFn>
+Variable MakeOp(const char* name, const Tensor& value,
+                const std::vector<Variable>& inputs, BackwardFn&& backward) {
   bool needs_grad = false;
   for (const Variable& v : inputs) {
     PRISTI_CHECK(v.defined())
@@ -50,11 +56,17 @@ Variable MakeOp(const char* name, Tensor value,
       needs_grad = true;
     }
   }
+  // NaN attribution stays on in inference mode: sampling is where a bad
+  // kernel would otherwise surface as silently wrong imputations.
   MaybeCheckFinite(name, value, inputs);
   auto node = std::make_shared<Node>();
-  node->value = std::move(value);
+  node->value = value;
   node->requires_grad = false;
   node->op_name = name;
+  if (!GradModeEnabled()) {
+    node->inference_mode = true;
+    return Variable::FromNode(std::move(node));
+  }
   if (needs_grad) {
     node->parents.reserve(inputs.size());
     node->parent_versions.reserve(inputs.size());
@@ -62,7 +74,7 @@ Variable MakeOp(const char* name, Tensor value,
       node->parents.push_back(v.node());
       node->parent_versions.push_back(v.node()->value_version);
     }
-    node->backward = std::move(backward);
+    node->backward = std::forward<BackwardFn>(backward);
   }
   return Variable::FromNode(std::move(node));
 }
@@ -529,9 +541,9 @@ Variable MeanAxisKeepdim(const Variable& a, int64_t axis) {
 // Custom ops
 // ---------------------------------------------------------------------------
 
-Variable MakeCustomOp(Tensor value, const std::vector<Variable>& inputs,
+Variable MakeCustomOp(const Tensor& value, const std::vector<Variable>& inputs,
                       std::function<void(const Tensor& grad_out)> backward) {
-  return MakeOp("CustomOp", std::move(value), inputs, std::move(backward));
+  return MakeOp("CustomOp", value, inputs, std::move(backward));
 }
 
 // ---------------------------------------------------------------------------

@@ -75,7 +75,7 @@ Variable MeanAxisKeepdim(const Variable& a, int64_t axis);
 // backward closure (which must AccumulateGrad into the inputs' nodes).
 // Escape hatch for ops with specialized kernels (e.g. sparse message
 // passing) that do not warrant a dedicated operator here.
-Variable MakeCustomOp(Tensor value, const std::vector<Variable>& inputs,
+Variable MakeCustomOp(const Tensor& value, const std::vector<Variable>& inputs,
                       std::function<void(const Tensor& grad_out)> backward);
 
 // ---- Composite losses -------------------------------------------------------

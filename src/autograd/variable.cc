@@ -6,6 +6,20 @@
 
 namespace pristi::autograd {
 
+namespace {
+
+// Depth of nested NoGradGuards on this thread; ops record the tape only at
+// depth zero.
+thread_local int t_no_grad_depth = 0;
+
+}  // namespace
+
+NoGradGuard::NoGradGuard() { ++t_no_grad_depth; }
+
+NoGradGuard::~NoGradGuard() { --t_no_grad_depth; }
+
+bool GradModeEnabled() { return t_no_grad_depth == 0; }
+
 namespace internal {
 
 void Node::AccumulateGrad(const Tensor& g) {
@@ -21,9 +35,9 @@ void Node::AccumulateGrad(const Tensor& g) {
 
 }  // namespace internal
 
-Variable::Variable(Tensor value, bool requires_grad)
+Variable::Variable(const Tensor& value, bool requires_grad)
     : node_(std::make_shared<internal::Node>()) {
-  node_->value = std::move(value);
+  node_->value = value;
   node_->requires_grad = requires_grad;
 }
 
@@ -93,6 +107,11 @@ std::vector<internal::Node*> TopologicalOrder(internal::Node* root) {
 
 void Variable::Backward() {
   PRISTI_CHECK(defined());
+  PRISTI_CHECK(!node_->inference_mode)
+      << "Backward() through op '" << node_->op_name
+      << "' built under NoGradGuard: the forward pass recorded no tape "
+         "(inference mode), so no gradients exist; rebuild the forward "
+         "graph with gradients enabled";
   PRISTI_CHECK_EQ(node_->value.numel(), 1)
       << "Backward() requires a scalar output, got shape "
       << tensor::ShapeToString(node_->value.shape());
@@ -137,8 +156,8 @@ Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
   return v;
 }
 
-Variable Constant(Tensor value) {
-  return Variable(std::move(value), /*requires_grad=*/false);
+Variable Constant(const Tensor& value) {
+  return Variable(value, /*requires_grad=*/false);
 }
 
 }  // namespace pristi::autograd

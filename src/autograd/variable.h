@@ -24,6 +24,27 @@ namespace pristi::autograd {
 using tensor::Shape;
 using tensor::Tensor;
 
+// ---- Inference mode --------------------------------------------------------
+// RAII scope that disables tape recording on the current thread. While at
+// least one guard is alive, ops in ops.h produce graph-free nodes: no
+// parent edges, no backward closures. Intermediate activations are then
+// freed (returned to the tensor BufferPool) as soon as the last Variable
+// referencing them goes out of scope, and Backward() through any value
+// produced under the guard is a typed PRISTI_CHECK failure instead of a
+// silent zero-gradient. Guards nest; recording resumes when the outermost
+// guard is destroyed. The flag is thread-local, so worker threads' gradient
+// recording is unaffected.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+// True when ops record the tape (no NoGradGuard alive on this thread).
+bool GradModeEnabled();
+
 namespace internal {
 
 // One node of the autodiff tape.
@@ -43,6 +64,10 @@ struct Node {
   // Set once this node's backward closure has run; running it a second
   // time is double-backward misuse (the tape is single-shot per graph).
   bool backward_consumed = false;
+  // Built under NoGradGuard: the op recorded no parents or closure, so
+  // Backward() through this node is a usage error, reported as a typed
+  // failure rather than silent zero gradients.
+  bool inference_mode = false;
   // Parents retained both for topological ordering and lifetime.
   std::vector<std::shared_ptr<Node>> parents;
   // parents[i]'s value_version at graph-construction time.
@@ -62,8 +87,8 @@ class Variable {
   // A null variable; `defined()` is false.
   Variable() = default;
 
-  // Wraps `value` as a leaf.
-  explicit Variable(Tensor value, bool requires_grad = false);
+  // Wraps `value` as a leaf (shares the tensor's storage; O(1)).
+  explicit Variable(const Tensor& value, bool requires_grad = false);
 
   bool defined() const { return node_ != nullptr; }
   const Tensor& value() const;
@@ -96,7 +121,7 @@ class Variable {
 };
 
 // Convenience: a constant (non-differentiable) variable.
-Variable Constant(Tensor value);
+Variable Constant(const Tensor& value);
 
 }  // namespace pristi::autograd
 

@@ -195,11 +195,11 @@ namespace {
 // One direction of the node-wise graph recurrent imputer.
 class GraphDirection : public nn::Module {
  public:
-  GraphDirection(int64_t num_nodes, int64_t hidden, Tensor transition,
+  GraphDirection(int64_t num_nodes, int64_t hidden, const Tensor& transition,
                  Rng& rng)
       : num_nodes_(num_nodes),
         hidden_(hidden),
-        transition_(ag::Constant(std::move(transition))),
+        transition_(ag::Constant(transition)),
         cell_(3, hidden, rng),
         head_self_(hidden, 1, rng),
         head_spatial_(2 * hidden, 1, rng) {

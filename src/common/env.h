@@ -3,6 +3,20 @@
 
 // Environment-variable knobs shared by the bench harness. Benches default to
 // CI-friendly reduced scale; set PRISTI_SCALE=full for paper-scale shapes.
+//
+// Memory-model knobs (consumed by src/tensor/storage.cc and tensor.cc; all
+// read once at first allocation, so set them before the process starts):
+//   PRISTI_BUFFER_POOL=0   disable the Storage buffer pool's recycling —
+//                          every tensor buffer comes from the heap. The A/B
+//                          baseline for allocator measurements; counters in
+//                          tensor::GetAllocStats() accumulate either way.
+//   PRISTI_POOL_MAX_MB=N   cap on bytes cached in the pool's free lists
+//                          (default 512). Excess frees go back to the heap.
+//   PRISTI_MALLOC_TUNE=1   re-enable the legacy glibc mallopt(M_MMAP_-
+//                          THRESHOLD/M_TRIM_THRESHOLD) tuning that predated
+//                          the pool. Off by default: the pool recycles
+//                          activation buffers directly, so the process-global
+//                          malloc tweak is no longer needed.
 
 #include <cstdlib>
 #include <string>

@@ -455,6 +455,10 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
                               const ImputeOptions& options, Rng& rng) {
   PRISTI_CHECK(model != nullptr);
   PRISTI_CHECK_GT(options.num_samples, 0);
+  // Sampling never backprops: run every PredictNoise under inference mode
+  // so no tape is recorded and each step's activations return to the
+  // buffer pool before the next step allocates them again.
+  ag::NoGradGuard no_grad;
   int64_t s = options.num_samples;
   int64_t n = sample.values.dim(0), l = sample.values.dim(1);
   // At inference the imputation target is everything not observed; the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "autograd/variable.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "metrics/metrics.h"
@@ -87,6 +88,9 @@ MethodResult EvaluateFittedImputer(Imputer* imputer,
                                    const data::ImputationTask& task, Rng& rng,
                                    const EvaluateOptions& options) {
   CHECK(imputer != nullptr);
+  // Evaluation is inference-only for every imputer (fitting happened in
+  // Fit()); skip tape recording for all Impute calls below.
+  autograd::NoGradGuard no_grad;
   MethodResult result;
   result.method = imputer->name();
   metrics::ErrorAccumulator errors;
@@ -136,6 +140,7 @@ MethodResult EvaluateFittedImputer(Imputer* imputer,
 
 Tensor ImputeSeries(Imputer* imputer, const data::ImputationTask& task,
                     Rng& rng) {
+  autograd::NoGradGuard no_grad;
   int64_t t_steps = task.dataset.num_steps;
   int64_t n = task.dataset.num_nodes;
   int64_t l = task.window_len;

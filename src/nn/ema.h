@@ -4,7 +4,8 @@
 // Exponential moving average of model weights — the standard stabilization
 // for diffusion-model training (DDPM, DiffWave, CSDI all evaluate with EMA
 // weights). Keep one EmaWeights next to the optimizer, call Update() after
-// each step, and wrap evaluation in ApplyShadow()/Restore().
+// each step, and wrap evaluation in an EmaEvalScope (or the manual
+// ApplyShadow()/Restore() pair when gradients are needed).
 
 #include <vector>
 
@@ -40,6 +41,22 @@ class EmaWeights {
   std::vector<tensor::Tensor> stash_;
   float decay_;
   bool shadow_applied_ = false;
+};
+
+// RAII mid-training evaluation scope: swaps the EMA shadow weights into the
+// live parameters AND enters autograd inference mode for its lifetime, so
+// the evaluation forward passes record no tape. The destructor restores the
+// training weights before re-enabling recording.
+class EmaEvalScope {
+ public:
+  explicit EmaEvalScope(EmaWeights& ema) : ema_(ema) { ema_.ApplyShadow(); }
+  ~EmaEvalScope() { ema_.Restore(); }
+  EmaEvalScope(const EmaEvalScope&) = delete;
+  EmaEvalScope& operator=(const EmaEvalScope&) = delete;
+
+ private:
+  EmaWeights& ema_;
+  autograd::NoGradGuard no_grad_;
 };
 
 }  // namespace pristi::nn

@@ -97,11 +97,11 @@ bool Module::LoadFromFile(const std::string& path) {
   return true;
 }
 
-Variable Module::AddParameter(const std::string& name, Tensor init) {
+Variable Module::AddParameter(const std::string& name, const Tensor& init) {
   for (auto& [existing, param] : params_) {
     PRISTI_CHECK(existing != name) << "duplicate parameter name: " << name;
   }
-  Variable param(std::move(init), /*requires_grad=*/true);
+  Variable param(init, /*requires_grad=*/true);
   params_.emplace_back(name, param);
   return param;
 }

@@ -62,7 +62,7 @@ class Module {
  protected:
   // Registers a parameter initialized to `init`; the returned Variable
   // aliases the registered one.
-  Variable AddParameter(const std::string& name, Tensor init);
+  Variable AddParameter(const std::string& name, const Tensor& init);
   // Registers a child whose parameters are exposed under `name.`. The child
   // must outlive this module (typically it is a data member).
   void AddChild(const std::string& name, Module* child);

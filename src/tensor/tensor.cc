@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/parallel.h"
 
 #if defined(__GLIBC__)
@@ -25,14 +26,14 @@ namespace {
 constexpr int64_t kElementwiseMinChunk = 1 << 14;
 
 #if defined(__GLIBC__)
-// glibc serves allocations above M_MMAP_THRESHOLD (default 128 KiB) with a
-// fresh mmap and returns them to the OS on free, so every sample-batched
-// (S, N, L, c) activation pays mmap/munmap plus page faults on first touch
-// — measured at ~2x the whole model forward at S = 32. Keeping large
-// buffers in the arena (and not trimming it back) lets the activation
-// memory of one reverse step be recycled by the next at ordinary heap
-// cost, for a bounded-by-peak-working-set RSS increase.
+// Legacy allocator tuning, opt-in via PRISTI_MALLOC_TUNE=1. glibc serves
+// allocations above M_MMAP_THRESHOLD (default 128 KiB) with a fresh mmap and
+// returns them to the OS on free; before the BufferPool (storage.h) existed,
+// raising the thresholds was how sample-batched activations avoided
+// mmap/munmap churn. The pool now recycles those buffers directly, so the
+// process-global tweak is off by default and kept only for A/B measurement.
 const bool g_malloc_tuned = [] {
+  if (GetEnvIntOr("PRISTI_MALLOC_TUNE", 0) == 0) return false;
   mallopt(M_MMAP_THRESHOLD, 1 << 27);
   mallopt(M_TRIM_THRESHOLD, 1 << 27);
   return true;
@@ -66,13 +67,50 @@ bool ShapesEqual(const Shape& a, const Shape& b) { return a == b; }
 Tensor::Tensor() : shape_{0} {}
 
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
-  data_.assign(static_cast<size_t>(ShapeNumel(shape_)), 0.0f);
+  numel_ = ShapeNumel(shape_);
+  if (numel_ > 0) {
+    storage_ = Storage::Allocate(numel_);
+    // Zero-fill unconditionally: accumulation kernels (MatMul*, SumAxis)
+    // rely on zeroed outputs, and recycled pool blocks arrive dirty.
+    std::fill(storage_->data(), storage_->data() + numel_, 0.0f);
+  }
 }
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  PRISTI_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()))
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)) {
+  numel_ = ShapeNumel(shape_);
+  PRISTI_CHECK_EQ(numel_, static_cast<int64_t>(data.size()))
       << "data size does not match shape " << ShapeToString(shape_);
+  if (numel_ > 0) {
+    storage_ = Storage::Allocate(numel_);
+    std::memcpy(storage_->data(), data.data(),
+                static_cast<size_t>(numel_) * sizeof(float));
+  }
+}
+
+Tensor::Tensor(Shape shape, std::shared_ptr<Storage> storage, int64_t offset)
+    : shape_(std::move(shape)),
+      numel_(ShapeNumel(shape_)),
+      offset_(offset),
+      storage_(std::move(storage)) {}
+
+void Tensor::Unshare() {
+  std::shared_ptr<Storage> fresh = Storage::Allocate(numel_);
+  std::memcpy(fresh->data(), storage_->data() + offset_,
+              static_cast<size_t>(numel_) * sizeof(float));
+  storage_ = std::move(fresh);
+  offset_ = 0;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out;
+  out.shape_ = shape_;
+  out.numel_ = numel_;
+  if (numel_ > 0) {
+    out.storage_ = Storage::Allocate(numel_);
+    std::memcpy(out.storage_->data(), data(),
+                static_cast<size_t>(numel_) * sizeof(float));
+  }
+  return out;
 }
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -87,25 +125,30 @@ Tensor Tensor::Full(Shape shape, float value) {
 
 Tensor Tensor::Scalar(float value) {
   Tensor t((Shape()));
-  t.data_.assign(1, value);
+  t.data()[0] = value;
   return t;
 }
 
 Tensor Tensor::Randn(Shape shape, Rng& rng) {
   Tensor t(std::move(shape));
-  for (float& v : t.data_) v = static_cast<float>(rng.Normal());
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel_; ++i) p[i] = static_cast<float>(rng.Normal());
   return t;
 }
 
 Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi) {
   Tensor t(std::move(shape));
-  for (float& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel_; ++i) {
+    p[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
   return t;
 }
 
 Tensor Tensor::Arange(int64_t n) {
   Tensor t(Shape{n});
-  for (int64_t i = 0; i < n; ++i) t.data_[static_cast<size_t>(i)] = float(i);
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = float(i);
   return t;
 }
 
@@ -134,11 +177,11 @@ int64_t FlatIndex(const Shape& shape, std::initializer_list<int64_t> idx) {
 }  // namespace
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
-  return data_[static_cast<size_t>(FlatIndex(shape_, idx))];
+  return data()[FlatIndex(shape_, idx)];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
-  return data_[static_cast<size_t>(FlatIndex(shape_, idx))];
+  return data()[FlatIndex(shape_, idx)];
 }
 
 float& Tensor::operator[](int64_t flat_index) {
@@ -146,44 +189,64 @@ float& Tensor::operator[](int64_t flat_index) {
   // stays checked in every build).
   PRISTI_DCHECK_GE(flat_index, 0);
   PRISTI_DCHECK_LT(flat_index, numel());
-  return data_[static_cast<size_t>(flat_index)];
+  return data()[flat_index];
 }
 
 float Tensor::operator[](int64_t flat_index) const {
   PRISTI_DCHECK_GE(flat_index, 0);
   PRISTI_DCHECK_LT(flat_index, numel());
-  return data_[static_cast<size_t>(flat_index)];
+  return data()[flat_index];
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  if (numel_ == 0) return;
+  float* p = data();
+  std::fill(p, p + numel_, value);
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
   PRISTI_CHECK(ShapesEqual(shape_, other.shape_))
       << "AddInPlace shape mismatch: " << ShapeToString(shape_) << " vs "
       << ShapeToString(other.shape_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  if (numel_ == 0) return;
+  float* p = data();
+  const float* q = other.data();
+  for (int64_t i = 0; i < numel_; ++i) p[i] += q[i];
 }
 
 void Tensor::ScaleInPlace(float factor) {
-  for (float& v : data_) v *= factor;
+  if (numel_ == 0) return;
+  float* p = data();
+  for (int64_t i = 0; i < numel_; ++i) p[i] *= factor;
 }
 
 Tensor Tensor::Reshaped(Shape new_shape) const {
   PRISTI_CHECK_EQ(ShapeNumel(new_shape), numel())
       << "reshape " << ShapeToString(shape_) << " -> "
       << ShapeToString(new_shape);
-  return Tensor(std::move(new_shape), data_);
+  return Tensor(std::move(new_shape), storage_, offset_);
+}
+
+Tensor Tensor::SliceLeading(int64_t start, int64_t length) const {
+  PRISTI_CHECK_GE(ndim(), 1) << "SliceLeading needs a leading axis";
+  PRISTI_CHECK_GE(start, 0);
+  PRISTI_CHECK_GE(length, 0);
+  PRISTI_CHECK_LE(start + length, dim(0));
+  int64_t inner = dim(0) > 0 ? numel_ / dim(0) : 0;
+  Shape out_shape = shape_;
+  out_shape[0] = length;
+  if (length == 0 || inner == 0) return Tensor(std::move(out_shape));
+  return Tensor(std::move(out_shape), storage_, offset_ + start * inner);
 }
 
 std::string Tensor::ToString(int64_t max_entries) const {
   std::ostringstream out;
   out << "Tensor" << ShapeToString(shape_) << " {";
   int64_t n = std::min<int64_t>(numel(), max_entries);
+  const float* p = data();
   for (int64_t i = 0; i < n; ++i) {
     if (i > 0) out << ", ";
-    out << data_[static_cast<size_t>(i)];
+    out << p[i];
   }
   if (numel() > n) out << ", ...";
   out << "}";
@@ -681,6 +744,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   int64_t axis_offset = 0;
   for (const Tensor& p : parts) {
     int64_t mid = p.dim(axis);
+    if (mid * inner == 0) continue;
     const float* pp = p.data();
     for (int64_t o = 0; o < outer; ++o) {
       std::memcpy(po + (o * axis_total + axis_offset) * inner,
@@ -700,11 +764,12 @@ Tensor Stack(const std::vector<Tensor>& parts) {
   for (int64_t d : item_shape) out_shape.push_back(d);
   Tensor out(out_shape);
   int64_t item_numel = parts[0].numel();
+  float* po = out.data();
   for (size_t i = 0; i < parts.size(); ++i) {
     PRISTI_CHECK(ShapesEqual(parts[i].shape(), item_shape))
         << "Stack requires identical shapes";
-    std::memcpy(out.data() + static_cast<int64_t>(i) * item_numel,
-                parts[i].data(),
+    if (item_numel == 0) continue;
+    std::memcpy(po + static_cast<int64_t>(i) * item_numel, parts[i].data(),
                 static_cast<size_t>(item_numel) * sizeof(float));
   }
   return out;
@@ -719,12 +784,16 @@ Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start,
   PRISTI_CHECK_GE(start, 0);
   PRISTI_CHECK_GE(length, 0);
   PRISTI_CHECK_LE(start + length, a.dim(axis));
+  // A leading-axis slice of a contiguous tensor is itself contiguous, so it
+  // can alias the parent storage instead of copying.
+  if (axis == 0) return a.SliceLeading(start, length);
   int64_t outer = 1, mid = a.dim(axis), inner = 1;
   for (int64_t i = 0; i < axis; ++i) outer *= a.dim(i);
   for (int64_t i = axis + 1; i < nd; ++i) inner *= a.dim(i);
   Shape out_shape = a.shape();
   out_shape[static_cast<size_t>(axis)] = length;
   Tensor out(out_shape);
+  if (length * inner == 0) return out;
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t o = 0; o < outer; ++o) {
@@ -789,8 +858,10 @@ void WriteTensor(std::ostream& out, const Tensor& t) {
     int64_t d = t.dim(i);
     out.write(reinterpret_cast<const char*>(&d), sizeof(d));
   }
-  out.write(reinterpret_cast<const char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (t.numel() > 0) {
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
 }
 
 Tensor ReadTensor(std::istream& in) {
@@ -805,8 +876,10 @@ Tensor ReadTensor(std::istream& in) {
             sizeof(int64_t));
   }
   Tensor t(shape);
-  in.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (t.numel() > 0) {
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
   PRISTI_CHECK(in.good()) << "truncated tensor payload";
   return t;
 }

@@ -1,7 +1,7 @@
 #ifndef PRISTI_TENSOR_TENSOR_H_
 #define PRISTI_TENSOR_TENSOR_H_
 
-// Dense row-major float32 tensor with value semantics.
+// Dense row-major float32 tensor with value semantics over shared storage.
 //
 // This is the numerical substrate for the whole library: the autograd tape
 // (src/autograd) wraps these tensors, and every model (PriSTI, CSDI, the RNN
@@ -9,14 +9,28 @@
 // favours clarity and testability over peak throughput — experiment shapes
 // in this reproduction are small (N<=325 nodes, L<=36 steps, d<=64 channels),
 // so a clean O(n) / blocked O(n^3) implementation is sufficient.
+//
+// Memory model: a Tensor is a cheap header — shape, element offset, and a
+// shared_ptr to a ref-counted Storage block (storage.h) drawn from the
+// pooled allocator. Copying a Tensor copies the header only; the buffer is
+// shared. Every mutating accessor (non-const data()/at()/operator[], Fill,
+// AddInPlace, ScaleInPlace) performs copy-on-write first: if the storage is
+// shared it forks a private copy of this header's element range, so all
+// public call sites keep exact value semantics. Reshaped() and the leading-
+// axis SliceAxis() fast path return zero-copy views (shared storage,
+// adjusted shape/offset) — safe for the same reason. Use Clone() when a
+// guaranteed-private deep copy is required regardless of mutation, and
+// SharesStorage() in tests to assert aliasing.
 
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/storage.h"
 
 namespace pristi::tensor {
 
@@ -37,6 +51,7 @@ class Tensor {
 
   Tensor(Shape shape, std::vector<float> data);
 
+  // Header copies: O(1), storage shared until a mutating access forks it.
   Tensor(const Tensor&) = default;
   Tensor& operator=(const Tensor&) = default;
   Tensor(Tensor&&) = default;
@@ -58,12 +73,27 @@ class Tensor {
   const Shape& shape() const { return shape_; }
   int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
   int64_t dim(int64_t axis) const;
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int64_t numel() const { return numel_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  // Non-const data() is a mutating access: it forks shared storage first,
+  // so the returned pointer is private to this header. Take it AFTER any
+  // copies/views of the tensor have been made, never before.
+  float* data() {
+    if (storage_ != nullptr && storage_.use_count() > 1) Unshare();
+    return storage_ != nullptr ? storage_->data() + offset_ : nullptr;
+  }
+  const float* data() const {
+    return storage_ != nullptr ? storage_->data() + offset_ : nullptr;
+  }
+
+  // True when both headers alias the same Storage block (copies before
+  // mutation, views). Test/diagnostic hook for the COW invariants.
+  bool SharesStorage(const Tensor& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
+
+  // Guaranteed-private deep copy (fresh storage), regardless of sharing.
+  Tensor Clone() const;
 
   // ---- Element access (debug-friendly; bounds-checked) ----------------
   float& at(std::initializer_list<int64_t> idx);
@@ -71,20 +101,34 @@ class Tensor {
   float& operator[](int64_t flat_index);
   float operator[](int64_t flat_index) const;
 
-  // ---- In-place helpers ------------------------------------------------
+  // ---- In-place helpers (copy-on-write: fork shared storage first) ----
   void Fill(float value);
   void AddInPlace(const Tensor& other);          // same shape
   void ScaleInPlace(float factor);
   void ZeroOut() { Fill(0.0f); }
 
-  // Returns a copy with a new shape of identical numel.
+  // Zero-copy view with a new shape of identical numel (storage shared;
+  // always valid because tensors are contiguous row-major).
   Tensor Reshaped(Shape new_shape) const;
+
+  // Zero-copy view of rows [start, start+length) of the leading axis.
+  // SliceAxis() routes axis-0 slices here; exposed for direct use.
+  Tensor SliceLeading(int64_t start, int64_t length) const;
 
   std::string ToString(int64_t max_entries = 32) const;
 
  private:
+  // View constructor: adopt `storage` at `offset` without copying.
+  Tensor(Shape shape, std::shared_ptr<Storage> storage, int64_t offset);
+
+  // Forks a private copy of [offset_, offset_ + numel_). Called by mutating
+  // accessors when the storage is shared.
+  void Unshare();
+
   Shape shape_;
-  std::vector<float> data_;
+  int64_t numel_ = 0;
+  int64_t offset_ = 0;
+  std::shared_ptr<Storage> storage_;  // null iff numel_ == 0
 };
 
 // ---- Elementwise binary ops with NumPy-style broadcasting ---------------
@@ -146,7 +190,8 @@ Tensor TransposeLast2(const Tensor& a);
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
 // Stacks same-shaped tensors along a new leading axis.
 Tensor Stack(const std::vector<Tensor>& parts);
-// Slices [start, start+length) along `axis`.
+// Slices [start, start+length) along `axis`. Axis 0 returns a zero-copy
+// view (see Tensor::SliceLeading); other axes copy.
 Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start, int64_t length);
 
 // ---- Softmax ----------------------------------------------------------------
@@ -159,6 +204,8 @@ bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
 
 // ---- Serialization ------------------------------------------------------------
 // Binary format: ndim, dims, raw float payload. Used for model checkpoints.
+// Encodes logical shape + values only, so views serialize identically to
+// their deep-copied equivalents.
 void WriteTensor(std::ostream& out, const Tensor& t);
 Tensor ReadTensor(std::istream& in);
 

@@ -337,5 +337,64 @@ TEST(GradCheck, MakeCustomOp) {
   EXPECT_TRUE(r.ok) << r.message;
 }
 
+// ---------------------------------------------------------------------------
+// Inference mode (NoGradGuard)
+// ---------------------------------------------------------------------------
+
+TEST(InferenceMode, GuardDisablesRecordingAndNests) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    // Still inside the outer guard after the inner one unwinds.
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(InferenceMode, OpsUnderGuardBuildNoTape) {
+  Variable x(Tensor({2}, {3, 4}), /*requires_grad=*/true);
+  NoGradGuard no_grad;
+  Variable y = MulScalar(x, 2.0f);
+  // Values are computed normally...
+  EXPECT_TRUE(AllClose(y.value(), Tensor({2}, {6, 8})));
+  // ...but the node holds no graph: no parents, no backward closure.
+  EXPECT_TRUE(y.node()->inference_mode);
+  EXPECT_EQ(y.node()->parents.size(), 0u);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(InferenceMode, InferenceResultsActAsConstantsInGradGraphs) {
+  Variable x(Tensor({2}, {1, 2}), /*requires_grad=*/true);
+  Variable frozen = [&] {
+    NoGradGuard no_grad;
+    return MulScalar(x, 5.0f);
+  }();
+  // Outside the guard, mixing the frozen value into a differentiable graph
+  // treats it like Constant(): gradients flow to x only through the live
+  // branch.
+  Variable live = MulScalar(x, 3.0f);
+  Variable loss = SumAll(Mul(frozen, live));
+  loss.Backward();
+  // d/dx of sum(5x ⊙ 3x) through the live branch only: 3 * frozen = 15x.
+  EXPECT_TRUE(AllClose(x.grad(), Tensor({2}, {15, 30})));
+}
+
+TEST(InferenceMode, BackwardThroughInferenceGraphDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Variable x(Tensor({2}, {1, 2}), /*requires_grad=*/true);
+        NoGradGuard no_grad;
+        Variable y = SumAll(MulScalar(x, 2.0f));
+        y.Backward();
+      },
+      "built under NoGradGuard");
+}
+
 }  // namespace
 }  // namespace pristi::autograd

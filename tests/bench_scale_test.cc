@@ -17,6 +17,7 @@
 #include "bench_common.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "tensor/storage.h"
 #include "test_tmpdir.h"
 
 namespace pristi::bench {
@@ -132,11 +133,13 @@ TEST(SamplerBench, SamplesPerSecondSweep) {
                "  \"window_len\": %lld,\n"
                "  \"diffusion_steps\": %lld,\n"
                "  \"threads\": %lld,\n"
+               "  \"buffer_pool\": %s,\n"
                "  \"sweep\": [",
                static_cast<long long>(scale.metr_nodes),
                static_cast<long long>(scale.window_len),
                static_cast<long long>(options.diffusion_steps),
-               static_cast<long long>(ParallelThreadCount()));
+               static_cast<long long>(ParallelThreadCount()),
+               tensor::BufferPoolEnabled() ? "true" : "false");
   std::printf("sampler throughput (%lld nodes, %lld steps, %lld threads)\n",
               static_cast<long long>(scale.metr_nodes),
               static_cast<long long>(options.diffusion_steps),
@@ -145,25 +148,52 @@ TEST(SamplerBench, SamplesPerSecondSweep) {
               "speedup");
   bool first = true;
   for (int64_t samples : {int64_t{1}, int64_t{8}, int64_t{32}}) {
+    // Buffer-pool accounting for the batched run. `alloc_requests_per_step`
+    // is what every reverse step would hit the heap with if nothing were
+    // recycled (the pre-pool behaviour); `heap_allocs_per_step` is what
+    // actually reaches the heap with the pool warm.
+    tensor::AllocStats alloc_before = tensor::GetAllocStats();
     double batched_sec = run(samples, /*sequential=*/false);
+    tensor::AllocStats alloc_after = tensor::GetAllocStats();
     double sequential_sec = run(samples, /*sequential=*/true);
     double batched_sps = static_cast<double>(samples) / batched_sec;
     double sequential_sps = static_cast<double>(samples) / sequential_sec;
     double speedup = sequential_sec / batched_sec;
     EXPECT_GT(batched_sps, 0.0);
     EXPECT_GT(sequential_sps, 0.0);
+    double steps = static_cast<double>(options.diffusion_steps);
+    unsigned long long alloc_requests =
+        alloc_after.requests - alloc_before.requests;
+    unsigned long long heap_allocs =
+        alloc_after.heap_allocs - alloc_before.heap_allocs;
+    double hit_rate =
+        alloc_requests > 0
+            ? static_cast<double>(alloc_requests - heap_allocs) /
+                  static_cast<double>(alloc_requests)
+            : 0.0;
     std::fprintf(json,
                  "%s\n    {\"samples\": %lld, \"batched_sec\": %.6f, "
                  "\"batched_samples_per_sec\": %.3f, "
                  "\"sequential_sec\": %.6f, "
                  "\"sequential_samples_per_sec\": %.3f, "
-                 "\"speedup\": %.3f}",
+                 "\"speedup\": %.3f, "
+                 "\"alloc_requests\": %llu, "
+                 "\"heap_allocs\": %llu, "
+                 "\"pool_hit_rate\": %.4f, "
+                 "\"alloc_requests_per_step\": %.1f, "
+                 "\"heap_allocs_per_step\": %.1f, "
+                 "\"peak_live_mb\": %.1f}",
                  first ? "" : ",", static_cast<long long>(samples),
                  batched_sec, batched_sps, sequential_sec, sequential_sps,
-                 speedup);
-    std::printf("%8lld %14.2f %14.2f %9.2fx\n",
+                 speedup, alloc_requests, heap_allocs, hit_rate,
+                 static_cast<double>(alloc_requests) / steps,
+                 static_cast<double>(heap_allocs) / steps,
+                 static_cast<double>(alloc_after.peak_live_bytes) /
+                     (1024.0 * 1024.0));
+    std::printf("%8lld %14.2f %14.2f %9.2fx   pool hit %.1f%% "
+                "(%llu reqs, %llu heap)\n",
                 static_cast<long long>(samples), batched_sps, sequential_sps,
-                speedup);
+                speedup, 100.0 * hit_rate, alloc_requests, heap_allocs);
     first = false;
   }
   std::fprintf(json, "\n  ]\n}\n");

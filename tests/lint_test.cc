@@ -235,6 +235,39 @@ TEST_F(LintTest, SerializeVersionGuardFiresOnMissingMarkersOrComment) {
             std::string::npos);
 }
 
+TEST_F(LintTest, TensorByValueRuleFiresOnByValueParams) {
+  WriteFileAt(root_ / "src/nn/copies.cc",
+              "void Plain(Tensor t) {}\n"
+              "void Qualified(tensor::Tensor weights, int n) {}\n"
+              "void Aliased(int steps,\n"
+              "             ag::Variable loss) {}\n"
+              "Variable Full(pristi::autograd::Variable v) { return v; }\n");
+  std::vector<Violation> v = CheckTensorByValueParams(root_.string());
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_TRUE(HasViolation(v, "tensor-by-value", "copies.cc"));
+  EXPECT_EQ(v[0].line, 1);
+  EXPECT_EQ(v[1].line, 2);
+  // Wrapped parameter lists report the parameter's line, not the `(`.
+  EXPECT_EQ(v[2].line, 4);
+  EXPECT_NE(v[0].message.find("const Tensor&"), std::string::npos);
+  EXPECT_NE(v[2].message.find("const Variable&"), std::string::npos);
+}
+
+TEST_F(LintTest, TensorByValueRuleAcceptsReferencesContainersAndSuppression) {
+  WriteFileAt(
+      root_ / "src/nn/clean.cc",
+      "void Ref(const Tensor& t, Variable* out) {}\n"
+      "void Mut(tensor::Tensor& t) {}\n"
+      "void Container(std::vector<Tensor> parts,\n"
+      "               std::pair<std::string, Variable> named) {}\n"
+      "void Loop(const std::vector<Tensor>& v) {\n"
+      "  for (Tensor t : v) Ref(t, nullptr);\n"
+      "}\n"
+      "void Sink(Tensor t) {}  // pristi-lint: allow-tensor-by-value\n");
+  std::vector<Violation> v = CheckTensorByValueParams(root_.string());
+  EXPECT_TRUE(v.empty()) << FormatViolation(v.front());
+}
+
 TEST(LayoutFingerprintTest, MatchesFnv1aReferenceVectors) {
   // Standard FNV-1a 32-bit reference values.
   EXPECT_EQ(LayoutFingerprint(""), 0x811C9DC5u);

@@ -217,6 +217,65 @@ TEST(ScalarRoundTrip, I64F64ListAndStringSurvive) {
 // Full-model round trips
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Storage-layout golden: pooled, view-backed tensors must serialize to the
+// exact bytes the pre-shared-storage implementation wrote
+// ---------------------------------------------------------------------------
+
+#ifndef PRISTI_STORAGE_GOLDEN_PATH
+#define PRISTI_STORAGE_GOLDEN_PATH "tests/golden/serialize_storage_v1.ckpt"
+#endif
+
+TEST(StorageGolden, ViewBackedCheckpointBytesMatchPreRefactorFile) {
+  // Build the golden's logical contents deliberately through the
+  // shared-storage machinery: `base` comes from the buffer pool, `slice` is
+  // a zero-copy leading-dim view reshaped in place, and `scalar` is written
+  // via a COW header copy. The on-disk bytes depend only on logical shape
+  // and values, so they must equal what the owning-vector implementation
+  // produced.
+  Tensor base = Tensor::Arange(24).Reshaped({2, 3, 4});
+  Tensor slice = t::SliceAxis(base, 0, 1, 1).Reshaped({3, 4});
+  ASSERT_TRUE(slice.SharesStorage(base));  // really a view, not a copy
+  Tensor scalar_owner = Tensor::Scalar(0.5f);
+  Tensor scalar = scalar_owner;  // shared header
+  std::string bytes = WriteBytes([&](CheckpointWriter* w) {
+    w->AddString("meta.kind", "storage-golden");
+    w->AddTensor("storage.base", base);
+    w->AddTensor("storage.slice", slice);
+    w->AddTensor("storage.scalar", scalar);
+    w->AddI64("storage.format", 1);
+  });
+
+  if (std::getenv("PRISTI_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(PRISTI_STORAGE_GOLDEN_PATH, std::ios::binary);
+    ASSERT_TRUE(out.is_open())
+        << "cannot write golden " << PRISTI_STORAGE_GOLDEN_PATH;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    GTEST_SKIP() << "regenerated " << PRISTI_STORAGE_GOLDEN_PATH;
+  }
+
+  std::ifstream in(PRISTI_STORAGE_GOLDEN_PATH, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden " << PRISTI_STORAGE_GOLDEN_PATH
+      << "; regenerate with PRISTI_REGEN_GOLDEN=1";
+  std::ostringstream golden_stream(std::ios::binary);
+  golden_stream << in.rdbuf();
+  std::string golden = golden_stream.str();
+  ASSERT_EQ(bytes.size(), golden.size()) << "checkpoint size drifted";
+  EXPECT_EQ(bytes, golden) << "checkpoint bytes drifted from the "
+                              "pre-refactor serialization";
+
+  // The golden also parses back into tensors bit-equal to the views that
+  // wrote it.
+  CheckpointView view;
+  ASSERT_TRUE(ParseBytes(golden, &view).ok());
+  Tensor back;
+  ASSERT_TRUE(view.GetTensor("storage.slice", &back).ok());
+  ExpectBitEqual(back, slice, "storage.slice");
+  ASSERT_TRUE(view.GetTensor("storage.base", &back).ok());
+  ExpectBitEqual(back, base, "storage.base");
+}
+
 TEST(ModuleRoundTrip, PristiModelStreamRoundTripBitExact) {
   auto a = MakeTinyModel(6, 8, 1);
   auto b = MakeTinyModel(6, 8, 2);  // different init, overwritten by load

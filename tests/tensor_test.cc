@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace pristi::tensor {
@@ -475,6 +476,146 @@ TEST(ClampTensor, BoundsRespected) {
   for (int64_t i = 0; i < 64; ++i) {
     if (a[i] > -0.5f && a[i] < 0.5f) EXPECT_FLOAT_EQ(clamped[i], a[i]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Shared storage: copy-on-write headers, views, and the buffer pool
+// ---------------------------------------------------------------------------
+
+TEST(SharedStorage, CopyIsSharedUntilWritten) {
+  Tensor a = Tensor::Arange(6).Reshaped({2, 3});
+  Tensor b = a;  // header copy: same storage
+  EXPECT_TRUE(a.SharesStorage(b));
+  // Const access does not fork.
+  const Tensor& cb = b;
+  EXPECT_FLOAT_EQ(cb[3], 3.0f);
+  EXPECT_TRUE(a.SharesStorage(b));
+  // First mutating access forks; the sibling keeps its values.
+  b.data()[3] = 42.0f;
+  EXPECT_FALSE(a.SharesStorage(b));
+  EXPECT_FLOAT_EQ(a[3], 3.0f);
+  EXPECT_FLOAT_EQ(b[3], 42.0f);
+}
+
+TEST(SharedStorage, MutatingTheOriginalDetachesFromCopies) {
+  Tensor a = Tensor::Arange(4);
+  Tensor b = a;
+  a.Fill(7.0f);  // mutates a; b must not see it
+  EXPECT_FLOAT_EQ(b[0], 0.0f);
+  EXPECT_FLOAT_EQ(b[3], 3.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 7.0f);
+}
+
+TEST(SharedStorage, ReshapedIsZeroCopyView) {
+  Tensor a = Tensor::Arange(12);
+  Tensor m = a.Reshaped({3, 4});
+  EXPECT_TRUE(a.SharesStorage(m));
+  EXPECT_EQ(m.ndim(), 2);
+  EXPECT_FLOAT_EQ(m.at({2, 3}), 11.0f);
+}
+
+TEST(SharedStorage, SliceLeadingIsViewAtOffset) {
+  Tensor a = Tensor::Arange(24).Reshaped({4, 3, 2});
+  Tensor s = a.SliceLeading(1, 2);  // rows 1..2
+  EXPECT_TRUE(s.SharesStorage(a));
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_FLOAT_EQ(s.at({0, 0, 0}), 6.0f);
+  EXPECT_FLOAT_EQ(s.at({1, 2, 1}), 17.0f);
+  // SliceAxis routes axis 0 through the view path.
+  Tensor via_axis = SliceAxis(a, 0, 1, 2);
+  EXPECT_TRUE(via_axis.SharesStorage(a));
+  // Writing through the view forks it away from the base.
+  s.data()[0] = -1.0f;
+  EXPECT_FALSE(s.SharesStorage(a));
+  EXPECT_FLOAT_EQ(a.at({1, 0, 0}), 6.0f);
+  EXPECT_FLOAT_EQ(s.at({0, 0, 0}), -1.0f);
+}
+
+TEST(SharedStorage, CloneIsIndependentEagerly) {
+  Tensor a = Tensor::Arange(5);
+  Tensor c = a.Clone();
+  EXPECT_FALSE(c.SharesStorage(a));
+  a.Fill(9.0f);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(c[i], static_cast<float>(i));
+}
+
+TEST(SharedStorage, EmptyTensorsDoNotShare) {
+  Tensor a, b;
+  EXPECT_FALSE(a.SharesStorage(b));
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(SharedStorage, AllocStatsCountRequests) {
+  AllocStats before = GetAllocStats();
+  { Tensor t = Tensor::Zeros({128}); }
+  AllocStats after = GetAllocStats();
+  EXPECT_GT(after.requests, before.requests);
+  EXPECT_GE(after.bytes_requested,
+            before.bytes_requested + 128 * sizeof(float));
+}
+
+TEST(SharedStorage, PoolRecyclesFreedBlocks) {
+  if (!BufferPoolEnabled()) GTEST_SKIP() << "PRISTI_BUFFER_POOL=0";
+  // Prime the pool's bucket, then re-allocate the same size: the second
+  // round must be served from the pool, not the heap.
+  { Tensor warm = Tensor::Zeros({512}); }
+  AllocStats before = GetAllocStats();
+  { Tensor t = Tensor::Zeros({512}); }
+  AllocStats after = GetAllocStats();
+  EXPECT_GT(after.pool_hits, before.pool_hits);
+  EXPECT_EQ(after.heap_allocs, before.heap_allocs);
+}
+
+TEST(SharedStorage, RecycledBlocksArriveZeroed) {
+  // Tensor(Shape) zero-fills even when the pool hands back a dirty block —
+  // accumulation kernels rely on it, and it keeps results bit-identical
+  // with the pool on or off.
+  {
+    Tensor dirty = Tensor::Zeros({256});
+    dirty.Fill(3.5f);
+  }
+  Tensor fresh = Tensor::Zeros({256});
+  for (int64_t i = 0; i < 256; ++i) EXPECT_EQ(fresh[i], 0.0f);
+}
+
+// The pool must not change numerics no matter how allocations interleave
+// with worker threads: run the same computation with a cold pool, a warm
+// pool, and under different thread counts, and demand bit identity.
+TEST(SharedStorage, PoolReuseIsDeterministicAcrossThreadCounts) {
+  auto compute = [] {
+    Rng rng(41);
+    Tensor a = Tensor::Randn({8, 16}, rng);
+    Tensor b = Tensor::Randn({16, 8}, rng);
+    Tensor c = MatMul(a, b);
+    Tensor d = SoftmaxLastDim(c);
+    return SumAxis(d, 0);
+  };
+  int64_t saved = ParallelThreadCount();
+  SetParallelThreadCount(1);
+  Tensor single_cold = compute();
+  Tensor single_warm = compute();  // pool now primed with recycled blocks
+  SetParallelThreadCount(4);
+  Tensor multi = compute();
+  SetParallelThreadCount(saved);
+  ASSERT_EQ(single_cold.numel(), multi.numel());
+  for (int64_t i = 0; i < single_cold.numel(); ++i) {
+    EXPECT_EQ(single_cold[i], single_warm[i]) << "warm pool drifted at " << i;
+    EXPECT_EQ(single_cold[i], multi[i]) << "thread count drifted at " << i;
+  }
+}
+
+TEST(Serialization, ViewSerializesAsContiguous) {
+  // A view-backed tensor writes the same bytes as an owned copy with the
+  // same logical contents.
+  Tensor base = Tensor::Arange(24).Reshaped({4, 6});
+  Tensor view = base.SliceLeading(2, 1).Reshaped({6});
+  Tensor owned = view.Clone();
+  std::stringstream via_view, via_owned;
+  WriteTensor(via_view, view);
+  WriteTensor(via_owned, owned);
+  EXPECT_EQ(via_view.str(), via_owned.str());
+  Tensor back = ReadTensor(via_view);
+  EXPECT_TRUE(AllClose(back, owned, 0.0f, 0.0f));
 }
 
 }  // namespace

@@ -342,11 +342,55 @@ std::vector<Violation> CheckSerializeVersionGuard(
   return violations;
 }
 
+std::vector<Violation> CheckTensorByValueParams(const std::string& repo_root) {
+  std::vector<Violation> violations;
+  fs::path src = fs::path(repo_root) / "src";
+  // `(` or `,` followed by a (possibly alias-qualified) Tensor or Variable
+  // parameter declared by value: `Foo(Tensor x)`, `..., Variable v)`,
+  // including declarations wrapped onto a continuation line (\s spans
+  // newlines). The lookahead pins the token after the parameter name to
+  // `,`, `)` or a default argument, which excludes range-for bindings
+  // (`:`); pointer/reference declarators never match because `*`/`&` break
+  // the `\s+\w` sequence, and template arguments like std::vector<Tensor>
+  // are not preceded by `(` or `,`.
+  static const std::regex by_value_re(
+      R"re([(,]\s*(?:pristi\s*::\s*)?(?:tensor\s*::\s*|autograd\s*::\s*|t\s*::\s*|ag\s*::\s*)?(Tensor|Variable)\s+\w+\s*(?=[,)=]))re");
+  for (const fs::path& file : CollectFiles(src, {".h", ".cc"})) {
+    std::string raw = ReadFile(file);
+    std::string stripped = StripCommentsAndStrings(raw);
+    std::vector<std::string> raw_lines = SplitLines(raw);
+    std::string rel = RelPath(file, repo_root);
+    for (auto it =
+             std::sregex_iterator(stripped.begin(), stripped.end(), by_value_re);
+         it != std::sregex_iterator(); ++it) {
+      // Report the line of the type name (group 1), not of the opening
+      // punctuation, so wrapped parameter lists point at the parameter.
+      size_t pos = static_cast<size_t>(it->position(1));
+      int line = 1 + static_cast<int>(std::count(
+                         stripped.begin(),
+                         stripped.begin() + static_cast<std::ptrdiff_t>(pos),
+                         '\n'));
+      if (line - 1 < static_cast<int>(raw_lines.size()) &&
+          raw_lines[static_cast<size_t>(line - 1)].find(
+              "pristi-lint: allow-tensor-by-value") != std::string::npos) {
+        continue;
+      }
+      std::string type = (*it)[1].str();
+      violations.push_back(
+          {rel, line, "tensor-by-value",
+           "pass-by-value " + type + " parameter: take `const " + type +
+               "&` (tensor headers share storage) or require an explicit "
+               "Tensor::Clone() at the call site"});
+    }
+  }
+  return violations;
+}
+
 std::vector<Violation> LintRepo(const std::string& repo_root) {
   std::vector<Violation> all;
   for (auto* rule : {CheckHeaderGuards, CheckBannedPatterns,
                      CheckCmakeSourceLists, CheckGradCoverage,
-                     CheckSerializeVersionGuard}) {
+                     CheckSerializeVersionGuard, CheckTensorByValueParams}) {
     std::vector<Violation> found = rule(repo_root);
     all.insert(all.end(), found.begin(), found.end());
   }

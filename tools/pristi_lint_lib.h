@@ -25,6 +25,14 @@
 //                      fingerprint comment; editing the layout without
 //                      refreshing it — i.e. without consciously bumping
 //                      kFormatVersion — fails the lint.
+//   tensor-by-value    no pass-by-value `Tensor` / `Variable` function
+//                      parameters in src/. Tensors are shared-storage
+//                      headers, so a by-value parameter hides whether the
+//                      callee shares or forks the buffer: take `const&`
+//                      (share) or require an explicit Tensor::Clone() at
+//                      the call site (fork). Suppress a deliberate copy
+//                      with a trailing
+//                      `// pristi-lint: allow-tensor-by-value`.
 //
 // Pattern rules operate on comment- and string-literal-stripped source, so
 // mentioning a banned construct in documentation is fine.
@@ -66,6 +74,7 @@ std::vector<Violation> CheckBannedPatterns(const std::string& repo_root);
 std::vector<Violation> CheckCmakeSourceLists(const std::string& repo_root);
 std::vector<Violation> CheckGradCoverage(const std::string& repo_root);
 std::vector<Violation> CheckSerializeVersionGuard(const std::string& repo_root);
+std::vector<Violation> CheckTensorByValueParams(const std::string& repo_root);
 
 // All rules.
 std::vector<Violation> LintRepo(const std::string& repo_root);
