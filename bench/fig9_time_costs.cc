@@ -13,6 +13,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "common/stopwatch.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/storage.h"
 
 namespace pristi::bench {
@@ -75,20 +77,45 @@ std::unique_ptr<Imputer> MakeMethod(Method method,
   return nullptr;
 }
 
-// Attaches buffer-pool counters for the measured phase: total tensor
-// allocations, how many missed the pool and hit the heap, and the pool hit
-// rate. A hit rate near 1 means the phase runs almost allocation-free.
-void ReportAllocCounters(benchmark::State& state,
-                         const tensor::AllocStats& before,
-                         const tensor::AllocStats& after) {
-  double requests = static_cast<double>(after.requests - before.requests);
-  double heap = static_cast<double>(after.heap_allocs - before.heap_allocs);
+// Snapshot of the phase-delta counter sources: buffer-pool allocator plus
+// the GEMM kernel layer, with a wall clock for sustained GFLOP/s (the
+// google-benchmark timer is not readable mid-run at Iterations(1)).
+struct PhaseCounters {
+  tensor::AllocStats alloc = tensor::GetAllocStats();
+  tensor::kernels::KernelStats kernels = tensor::kernels::GetKernelStats();
+  Stopwatch watch;
+};
+
+// Attaches per-phase counters: total tensor allocations, how many missed
+// the pool and hit the heap (hit rate near 1 = the phase runs almost
+// allocation-free), plus the kernel layer's sustained GEMM GFLOP/s and how
+// often the pack cache served a weight panel instead of repacking it.
+void ReportPhaseCounters(benchmark::State& state, const PhaseCounters& since) {
+  tensor::AllocStats after = tensor::GetAllocStats();
+  tensor::kernels::KernelStats kernels_after =
+      tensor::kernels::GetKernelStats();
+  double seconds = since.watch.ElapsedSeconds();
+  double requests =
+      static_cast<double>(after.requests - since.alloc.requests);
+  double heap =
+      static_cast<double>(after.heap_allocs - since.alloc.heap_allocs);
   state.counters["alloc_requests"] = requests;
   state.counters["heap_allocs"] = heap;
   state.counters["pool_hit_rate"] =
       requests > 0.0 ? (requests - heap) / requests : 0.0;
   state.counters["peak_live_mb"] =
       static_cast<double>(after.peak_live_bytes) / (1024.0 * 1024.0);
+  double flops =
+      static_cast<double>(kernels_after.flops - since.kernels.flops);
+  state.counters["gemm_gflops_per_sec"] =
+      seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+  double hits = static_cast<double>(kernels_after.pack_cache_hits -
+                                    since.kernels.pack_cache_hits);
+  double lookups = hits + static_cast<double>(
+                              kernels_after.pack_cache_misses -
+                              since.kernels.pack_cache_misses);
+  state.counters["pack_cache_hit_rate"] =
+      lookups > 0.0 ? hits / lookups : 0.0;
 }
 
 // Fits with a 1-epoch budget -> measures one training epoch.
@@ -102,12 +129,12 @@ void BM_TrainEpoch(benchmark::State& state) {
   data::ImputationTask& task = CachedTask(preset);
   Rng rng(11);
   auto imputer = MakeMethod(method, task, scale, rng);
-  tensor::AllocStats before = tensor::GetAllocStats();
+  PhaseCounters phase;
   for (auto _ : state) {
     Rng fit_rng(12);
     imputer->Fit(task, fit_rng);
   }
-  ReportAllocCounters(state, before, tensor::GetAllocStats());
+  ReportPhaseCounters(state, phase);
   state.SetLabel(std::string(MethodName(method)) + " / " +
                  PresetName(preset));
 }
@@ -127,12 +154,12 @@ void BM_ImputeWindow(benchmark::State& state) {
   Rng fit_rng(14);
   imputer->Fit(task, fit_rng);
   data::Sample window = data::ExtractSamples(task, "test").front();
-  tensor::AllocStats before = tensor::GetAllocStats();
+  PhaseCounters phase;
   for (auto _ : state) {
     Rng run_rng(15);
     benchmark::DoNotOptimize(imputer->Impute(window, run_rng));
   }
-  ReportAllocCounters(state, before, tensor::GetAllocStats());
+  ReportPhaseCounters(state, phase);
   // Diffusion methods also report reverse-diffusion sampling throughput
   // (generated samples per wall-clock second across the whole run).
   if (auto* adapter = dynamic_cast<eval::DiffusionImputerAdapter*>(

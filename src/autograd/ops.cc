@@ -256,13 +256,40 @@ Variable Where(const Tensor& cond, const Variable& a, const Variable& b) {
 // Matrix products
 // ---------------------------------------------------------------------------
 
+// Every backward below uses the NT/TN kernel entry points, which read the
+// transposed operand in place — no TransposeLast2 copy is materialized
+// anywhere on the MatMul-family backward paths (the no-materialized-
+// transpose lint rule enforces this).
+
 Variable MatMul(const Variable& a, const Variable& b) {
   Tensor out = t::MatMul(a.value(), b.value());
   auto an = a.node();
   auto bn = b.node();
   return MakeOp("MatMul", std::move(out), {a, b}, [an, bn](const Tensor& g) {
-    an->AccumulateGrad(t::MatMul(g, t::TransposeLast2(bn->value)));
-    bn->AccumulateGrad(t::MatMul(t::TransposeLast2(an->value), g));
+    an->AccumulateGrad(t::MatMulNT(g, bn->value));
+    bn->AccumulateGrad(t::MatMulTN(an->value, g));
+  });
+}
+
+Variable MatMulNT(const Variable& a, const Variable& b) {
+  Tensor out = t::MatMulNT(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp("MatMulNT", std::move(out), {a, b}, [an, bn](const Tensor& g) {
+    // out = a bᵀ: da = g b, db = gᵀ a.
+    an->AccumulateGrad(t::MatMul(g, bn->value));
+    bn->AccumulateGrad(t::MatMulTN(g, an->value));
+  });
+}
+
+Variable MatMulTN(const Variable& a, const Variable& b) {
+  Tensor out = t::MatMulTN(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp("MatMulTN", std::move(out), {a, b}, [an, bn](const Tensor& g) {
+    // out = aᵀ b: da = b gᵀ, db = a g.
+    an->AccumulateGrad(t::MatMulNT(bn->value, g));
+    bn->AccumulateGrad(t::MatMul(an->value, g));
   });
 }
 
@@ -271,9 +298,33 @@ Variable BatchedMatMul(const Variable& a, const Variable& b) {
   auto an = a.node();
   auto bn = b.node();
   return MakeOp("BatchedMatMul", std::move(out), {a, b}, [an, bn](const Tensor& g) {
-    an->AccumulateGrad(t::BatchedMatMul(g, t::TransposeLast2(bn->value)));
-    bn->AccumulateGrad(t::BatchedMatMul(t::TransposeLast2(an->value), g));
+    an->AccumulateGrad(t::BatchedMatMulNT(g, bn->value));
+    bn->AccumulateGrad(t::BatchedMatMulTN(an->value, g));
   });
+}
+
+Variable BatchedMatMulNT(const Variable& a, const Variable& b) {
+  Tensor out = t::BatchedMatMulNT(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp("BatchedMatMulNT", std::move(out), {a, b},
+                [an, bn](const Tensor& g) {
+                  // Per batch item: da = g b, db = gᵀ a.
+                  an->AccumulateGrad(t::BatchedMatMul(g, bn->value));
+                  bn->AccumulateGrad(t::BatchedMatMulTN(g, an->value));
+                });
+}
+
+Variable BatchedMatMulTN(const Variable& a, const Variable& b) {
+  Tensor out = t::BatchedMatMulTN(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp("BatchedMatMulTN", std::move(out), {a, b},
+                [an, bn](const Tensor& g) {
+                  // Per batch item: da = b gᵀ, db = a g.
+                  an->AccumulateGrad(t::BatchedMatMulNT(bn->value, g));
+                  bn->AccumulateGrad(t::BatchedMatMul(an->value, g));
+                });
 }
 
 Variable MatMulLastDim(const Variable& x, const Variable& w) {
@@ -281,15 +332,15 @@ Variable MatMulLastDim(const Variable& x, const Variable& w) {
   auto xn = x.node();
   auto wn = w.node();
   return MakeOp("MatMulLastDim", std::move(out), {x, w}, [xn, wn](const Tensor& g) {
-    // dx = g @ w^T applied along the last axis.
-    xn->AccumulateGrad(t::MatMulLastDim(g, t::TransposeLast2(wn->value)));
+    // dx = g @ w^T applied along the last axis (w read transposed in place).
+    xn->AccumulateGrad(t::MatMulLastDimT(g, wn->value));
     // dw = x2d^T @ g2d where both are flattened to (rows, features).
     int64_t k_in = xn->value.dim(-1);
     int64_t k_out = g.dim(-1);
     int64_t rows = xn->value.numel() / k_in;
     Tensor x2d = xn->value.Reshaped({rows, k_in});
     Tensor g2d = g.Reshaped({rows, k_out});
-    wn->AccumulateGrad(t::MatMul(t::TransposeLast2(x2d), g2d));
+    wn->AccumulateGrad(t::MatMulTN(x2d, g2d));
   });
 }
 
@@ -298,8 +349,8 @@ Variable MatMulNodeDim(const Variable& p, const Variable& x) {
   auto pn = p.node();
   auto xn = x.node();
   return MakeOp("MatMulNodeDim", std::move(out), {p, x}, [pn, xn](const Tensor& g) {
-    // dx = p^T @ g along the node axis.
-    xn->AccumulateGrad(t::MatMulNodeDim(t::TransposeLast2(pn->value), g));
+    // dx = p^T @ g along the node axis (p read transposed in place).
+    xn->AccumulateGrad(t::MatMulNodeDimT(pn->value, g));
     // dp = sum_batch g_b @ x_b^T.
     int64_t rows_out = pn->value.dim(0);
     int64_t rows_in = pn->value.dim(1);
@@ -307,7 +358,7 @@ Variable MatMulNodeDim(const Variable& p, const Variable& x) {
     int64_t batch = xn->value.numel() / (rows_in * d);
     Tensor g3 = g.Reshaped({batch, rows_out, d});
     Tensor x3 = xn->value.Reshaped({batch, rows_in, d});
-    Tensor per_batch = t::BatchedMatMul(g3, t::TransposeLast2(x3));
+    Tensor per_batch = t::BatchedMatMulNT(g3, x3);
     pn->AccumulateGrad(t::SumAxis(per_batch, 0));
   });
 }

@@ -38,10 +38,22 @@ Variable Clamp(const Variable& a, float lo, float hi);
 Variable Where(const Tensor& cond, const Variable& a, const Variable& b);
 
 // ---- Matrix products ------------------------------------------------------
+// The NT/TN variants read the transposed operand in place (tiled kernel
+// layer, tensor/kernels/) — use them instead of composing with
+// TransposeLast2, which would materialize a copy per call.
+//
 // (m,k) x (k,n).
 Variable MatMul(const Variable& a, const Variable& b);
+// (m,k) x (n,k)ᵀ — e.g. similarity scores against a row-major codebook.
+Variable MatMulNT(const Variable& a, const Variable& b);
+// (k,m)ᵀ x (k,n).
+Variable MatMulTN(const Variable& a, const Variable& b);
 // (..., m, k) x (..., k, n) with matching leading dims.
 Variable BatchedMatMul(const Variable& a, const Variable& b);
+// (..., m, k) x (..., n, k)ᵀ — e.g. attention scores Q·Kᵀ.
+Variable BatchedMatMulNT(const Variable& a, const Variable& b);
+// (..., k, m)ᵀ x (..., k, n).
+Variable BatchedMatMulTN(const Variable& a, const Variable& b);
 // Shared weight on the last axis: (..., k_in) x (k_in, k_out).
 Variable MatMulLastDim(const Variable& x, const Variable& w);
 // Shared matrix on the second-to-last ("node") axis:

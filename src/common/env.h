@@ -17,6 +17,18 @@
 //                          the pool. Off by default: the pool recycles
 //                          activation buffers directly, so the process-global
 //                          malloc tweak is no longer needed.
+//
+// GEMM kernel-layer knobs (consumed by src/tensor/kernels/; read once at
+// first GEMM):
+//   PRISTI_GEMM_TILE=0       route every matrix product through the retained
+//                            reference kernel (operands read in place, no
+//                            packing) instead of the tiled micro-kernel. The
+//                            A/B baseline for KernelBench; results are
+//                            bit-identical either way.
+//   PRISTI_PACK_CACHE_MB=N   cap on resident packed weight panels in the
+//                            GEMM pack cache (default 64). 0 disables the
+//                            cache: every call repacks its operands into
+//                            thread-local scratch.
 
 #include <cstdlib>
 #include <string>

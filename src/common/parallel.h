@@ -24,6 +24,13 @@
 
 namespace pristi {
 
+// Minimum multiply-accumulate flops a worker must receive before a
+// flop-heavy kernel (the GEMM dispatchers in tensor/ and the tiled kernel
+// layer in tensor/kernels/) is worth splitting across the pool: below this
+// the enqueue + wake overhead outweighs the arithmetic. Shared so every
+// GEMM-shaped ParallelFor derives its min_chunk from the same threshold.
+inline constexpr int64_t kMinFlopsPerChunk = 1 << 18;
+
 // Number of threads ParallelFor may use (>= 1), including the calling
 // thread. Resolved once from PRISTI_THREADS / hardware concurrency, unless
 // overridden by SetParallelThreadCount.

@@ -78,8 +78,8 @@ Variable MultiHeadAttention::Forward(const Variable& qk_source,
   Variable vh = SplitHeads(v);  // (B, h, S_k, dh)
 
   float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  Variable scores = ag::MulScalar(
-      ag::BatchedMatMul(qh, ag::TransposeLast2(kh)), scale);
+  // Q·Kᵀ via the NT kernel: K is read transposed in place, no copy.
+  Variable scores = ag::MulScalar(ag::BatchedMatMulNT(qh, kh), scale);
   Variable weights = ag::SoftmaxLastDim(scores);  // (B, h, S, S_k)
   Variable context = ag::BatchedMatMul(weights, vh);
   return ag::MatMulLastDim(MergeHeads(context), wo_);

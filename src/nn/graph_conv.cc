@@ -42,7 +42,7 @@ GraphConv::GraphConv(int64_t d_in, int64_t d_out,
 
 Variable GraphConv::AdaptiveAdjacency() const {
   PRISTI_CHECK(has_adaptive());
-  Variable raw = ag::MatMul(e1_, ag::TransposeLast2(e2_));
+  Variable raw = ag::MatMulNT(e1_, e2_);
   return ag::SoftmaxLastDim(ag::Relu(raw));
 }
 

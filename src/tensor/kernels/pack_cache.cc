@@ -1,0 +1,127 @@
+#include "tensor/kernels/pack_cache.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/env.h"
+
+namespace pristi::tensor::kernels {
+namespace {
+
+size_t MixHash(size_t h, uint64_t v) {
+  return h ^ (static_cast<size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+              (h >> 2));
+}
+
+struct KeyHash {
+  size_t operator()(const PackKey& k) const {
+    size_t h = MixHash(0, k.storage_id);
+    h = MixHash(h, static_cast<uint64_t>(k.offset));
+    h = MixHash(h, static_cast<uint64_t>(k.rows));
+    h = MixHash(h, static_cast<uint64_t>(k.cols));
+    h = MixHash(h, static_cast<uint64_t>(k.layout));
+    return MixHash(h, static_cast<uint64_t>(k.operand));
+  }
+};
+
+struct KeyEq {
+  bool operator()(const PackKey& a, const PackKey& b) const {
+    return a.storage_id == b.storage_id && a.offset == b.offset &&
+           a.rows == b.rows && a.cols == b.cols && a.layout == b.layout &&
+           a.operand == b.operand;
+  }
+};
+
+struct Entry {
+  uint64_t version = 0;
+  PackedPanel panel;
+  uint64_t bytes = 0;
+  std::list<PackKey>::iterator lru_it;
+};
+
+struct Cache {
+  std::mutex mu;
+  std::list<PackKey> lru;  // front = most recently used
+  std::unordered_map<PackKey, Entry, KeyHash, KeyEq> map;
+  uint64_t bytes = 0;
+};
+
+Cache& cache() {
+  // Leaked deliberately: GEMMs on worker threads can outlive static
+  // destruction order (same rationale as the BufferPool free list).
+  static Cache* c = std::make_unique<Cache>().release();
+  return *c;
+}
+
+uint64_t CapBytes() {
+  static const uint64_t cap =
+      static_cast<uint64_t>(GetEnvIntOr("PRISTI_PACK_CACHE_MB", 64)) * 1024 *
+      1024;
+  return cap;
+}
+
+}  // namespace
+
+KernelCounters& Counters() {
+  static KernelCounters c;
+  return c;
+}
+
+bool PackCacheEnabled() { return CapBytes() > 0; }
+
+PackedPanel PackCacheLookup(const PackKey& key, uint64_t version) {
+  Cache& c = cache();
+  std::scoped_lock lock(c.mu);
+  auto it = c.map.find(key);
+  if (it == c.map.end() || it->second.version != version) {
+    Counters().pack_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  c.lru.splice(c.lru.begin(), c.lru, it->second.lru_it);
+  Counters().pack_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second.panel;
+}
+
+void PackCacheInsert(const PackKey& key, uint64_t version, PackedPanel panel) {
+  if (panel == nullptr || !PackCacheEnabled()) return;
+  const uint64_t bytes = panel->size() * sizeof(float);
+  Cache& c = cache();
+  std::scoped_lock lock(c.mu);
+  auto it = c.map.find(key);
+  if (it != c.map.end()) {
+    // Same identity at a new version: replace in place. The old version can
+    // never be requested again (versions only grow), so nothing is lost.
+    c.bytes -= it->second.bytes;
+    it->second.version = version;
+    it->second.panel = std::move(panel);
+    it->second.bytes = bytes;
+    c.bytes += bytes;
+    c.lru.splice(c.lru.begin(), c.lru, it->second.lru_it);
+  } else {
+    c.lru.push_front(key);
+    c.map.emplace(key,
+                  Entry{version, std::move(panel), bytes, c.lru.begin()});
+    c.bytes += bytes;
+  }
+  while (c.bytes > CapBytes() && !c.lru.empty()) {
+    auto victim = c.map.find(c.lru.back());
+    c.bytes -= victim->second.bytes;
+    c.map.erase(victim);
+    c.lru.pop_back();
+  }
+  Counters().pack_cache_bytes.store(c.bytes, std::memory_order_relaxed);
+}
+
+void PackCacheClear() {
+  Cache& c = cache();
+  std::scoped_lock lock(c.mu);
+  c.map.clear();
+  c.lru.clear();
+  c.bytes = 0;
+  Counters().pack_cache_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pristi::tensor::kernels

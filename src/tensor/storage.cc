@@ -154,6 +154,8 @@ bool PoolRelease(float* p, int bucket) {
 Storage::Storage(int64_t numel) {
   PRISTI_CHECK(numel > 0) << "Storage::Allocate requires numel > 0, got "
                           << numel << " (empty tensors hold no storage)";
+  static std::atomic<uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
   size_ = numel;
   bucket_ = BucketFor(numel);
   const int64_t capacity = bucket_ >= 0 ? BucketCapacity(bucket_) : numel;

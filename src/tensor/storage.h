@@ -83,6 +83,17 @@ class Storage {
   // Requested size in floats (the bucket capacity may be larger).
   int64_t size() const { return size_; }
 
+  // Identity for content-addressed caches (the GEMM pack cache in
+  // tensor/kernels/). `id()` is unique per Storage for the process lifetime
+  // — NOT the buffer address, which the pool recycles — and `version()`
+  // counts mutations: Tensor bumps it on every non-const data() access, so
+  // (id, version) pins exact contents. A stale (id, version) pair can never
+  // be revived, which makes cache entries keyed on it safe without keeping
+  // the Storage alive.
+  uint64_t id() const { return id_; }
+  uint64_t version() const { return version_; }
+  void BumpVersion() { ++version_; }
+
   static std::shared_ptr<Storage> Allocate(int64_t numel) {
     return std::make_shared<Storage>(numel);
   }
@@ -91,6 +102,8 @@ class Storage {
   float* data_ = nullptr;
   int64_t size_ = 0;
   int32_t bucket_ = -1;  // free-list index; -1 = unpooled (oversized/disabled)
+  uint64_t id_ = 0;       // process-unique (atomic counter, not the address)
+  uint64_t version_ = 0;  // mutation counter; bumped via BumpVersion()
 };
 
 }  // namespace pristi::tensor

@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "common/parallel.h"
+#include "tensor/kernels/kernels.h"
 
 #if defined(__GLIBC__)
 #include <malloc.h>
@@ -473,66 +474,32 @@ Tensor Where(const Tensor& cond, const Tensor& a, const Tensor& b) {
 // Matrix products
 // ---------------------------------------------------------------------------
 
+// All products dispatch to the tiled kernel layer (tensor/kernels/): packed
+// panels, a 4x16 register-tiled micro-kernel, and the pack cache for the
+// shared-weight entry points. Outputs are freshly zeroed tensors, which is
+// the precondition for the layer's bit-identity contract; parallel
+// partitioning (rows for single GEMMs, items for batched) lives inside the
+// layer and keeps every output element on one thread.
+
 namespace {
 
-// C += A (m,k) * B (k,n), all row-major raw pointers. i-k-j loop order keeps
-// the innermost loop contiguous in both B and C; __restrict lets the
-// compiler vectorize the j-loop.
-inline void MatMulAccumulate(const float* __restrict a,
-                             const float* __restrict b, float* __restrict c,
-                             int64_t m, int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
+using kernels::Layout;
+
+// Shared shape plumbing for the batched entry points: checks leading dims
+// match and builds the (..., m, n) output shape.
+Tensor BatchedOutput(const Tensor& a, const Tensor& b, int64_t m, int64_t n,
+                     const char* op_name) {
+  PRISTI_CHECK_GE(a.ndim(), 2);
+  PRISTI_CHECK_EQ(a.ndim(), b.ndim());
+  int64_t nd = a.ndim();
+  for (int64_t i = 0; i < nd - 2; ++i) {
+    PRISTI_CHECK_EQ(a.dim(i), b.dim(i))
+        << op_name << " leading dim mismatch";
   }
-}
-
-// Row-parallel single matmul: partitions the m rows of C across the pool.
-// Each output row is produced by exactly one thread with the same i-k-j
-// accumulation order as the serial kernel, so the result is bit-identical
-// at any thread count.
-inline void ParallelMatMulAccumulate(const float* a, const float* b, float* c,
-                                     int64_t m, int64_t k, int64_t n) {
-  constexpr int64_t kMinFlopsPerChunk = 1 << 18;
-  int64_t per_row = k * n;
-  int64_t min_chunk =
-      per_row > 0 ? std::max<int64_t>(1, kMinFlopsPerChunk / per_row) : m;
-  ParallelFor(
-      0, m,
-      [&](int64_t lo, int64_t hi) {
-        MatMulAccumulate(a + lo * k, b, c + lo * n, hi - lo, k, n);
-      },
-      min_chunk);
-}
-
-// Batched variant with the loop inside the kernel, so tiny per-sample
-// matmuls (attention heads) amortize the call overhead.
-inline void BatchedMatMulAccumulate(const float* __restrict a,
-                                    const float* __restrict b,
-                                    float* __restrict c, int64_t batch,
-                                    int64_t m, int64_t k, int64_t n,
-                                    int64_t stride_a, int64_t stride_b) {
-  // Parallelize across the batch when each worker gets enough flops to
-  // amortize thread startup (no-op on single-core builds).
-  constexpr int64_t kMinFlopsPerChunk = 1 << 18;
-  int64_t per_item = m * k * n;
-  int64_t min_chunk =
-      per_item > 0 ? std::max<int64_t>(1, kMinFlopsPerChunk / per_item)
-                   : batch;
-  ParallelFor(
-      0, batch,
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t bi = lo; bi < hi; ++bi) {
-          MatMulAccumulate(a + bi * stride_a, b + bi * stride_b,
-                           c + bi * m * n, m, k, n);
-        }
-      },
-      min_chunk);
+  Shape out_shape(a.shape().begin(), a.shape().end() - 2);
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  return Tensor(out_shape);
 }
 
 }  // namespace
@@ -543,26 +510,62 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   PRISTI_CHECK_EQ(k, b.dim(0)) << "MatMul inner dim mismatch";
   Tensor out(Shape{m, n});
-  ParallelMatMulAccumulate(a.data(), b.data(), out.data(), m, k, n);
+  kernels::Gemm(Layout::kNormal, Layout::kNormal, m, n, k, a.data(), b.data(),
+                out.data());
+  return out;
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  PRISTI_CHECK_EQ(a.ndim(), 2);
+  PRISTI_CHECK_EQ(b.ndim(), 2);
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  PRISTI_CHECK_EQ(k, b.dim(1)) << "MatMulNT inner dim mismatch";
+  Tensor out(Shape{m, n});
+  kernels::Gemm(Layout::kNormal, Layout::kTransposed, m, n, k, a.data(),
+                b.data(), out.data());
+  return out;
+}
+
+Tensor MatMulTN(const Tensor& a, const Tensor& b) {
+  PRISTI_CHECK_EQ(a.ndim(), 2);
+  PRISTI_CHECK_EQ(b.ndim(), 2);
+  int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  PRISTI_CHECK_EQ(k, b.dim(0)) << "MatMulTN inner dim mismatch";
+  Tensor out(Shape{m, n});
+  kernels::Gemm(Layout::kTransposed, Layout::kNormal, m, n, k, a.data(),
+                b.data(), out.data());
   return out;
 }
 
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
-  PRISTI_CHECK_GE(a.ndim(), 2);
-  PRISTI_CHECK_EQ(a.ndim(), b.ndim());
   int64_t nd = a.ndim();
-  for (int64_t i = 0; i < nd - 2; ++i) {
-    PRISTI_CHECK_EQ(a.dim(i), b.dim(i)) << "BatchedMatMul leading dim mismatch";
-  }
   int64_t m = a.dim(nd - 2), k = a.dim(nd - 1), n = b.dim(nd - 1);
   PRISTI_CHECK_EQ(k, b.dim(nd - 2)) << "BatchedMatMul inner dim mismatch";
-  int64_t batch = a.numel() / (m * k);
-  Shape out_shape(a.shape().begin(), a.shape().end() - 2);
-  out_shape.push_back(m);
-  out_shape.push_back(n);
-  Tensor out(out_shape);
-  BatchedMatMulAccumulate(a.data(), b.data(), out.data(), batch, m, k, n,
-                          m * k, k * n);
+  Tensor out = BatchedOutput(a, b, m, n, "BatchedMatMul");
+  kernels::BatchedGemm(Layout::kNormal, Layout::kNormal, a.numel() / (m * k),
+                       m, n, k, a.data(), m * k, b.data(), k * n, out.data());
+  return out;
+}
+
+Tensor BatchedMatMulNT(const Tensor& a, const Tensor& b) {
+  int64_t nd = a.ndim();
+  int64_t m = a.dim(nd - 2), k = a.dim(nd - 1), n = b.dim(nd - 2);
+  PRISTI_CHECK_EQ(k, b.dim(nd - 1)) << "BatchedMatMulNT inner dim mismatch";
+  Tensor out = BatchedOutput(a, b, m, n, "BatchedMatMulNT");
+  kernels::BatchedGemm(Layout::kNormal, Layout::kTransposed,
+                       a.numel() / (m * k), m, n, k, a.data(), m * k,
+                       b.data(), n * k, out.data());
+  return out;
+}
+
+Tensor BatchedMatMulTN(const Tensor& a, const Tensor& b) {
+  int64_t nd = a.ndim();
+  int64_t k = a.dim(nd - 2), m = a.dim(nd - 1), n = b.dim(nd - 1);
+  PRISTI_CHECK_EQ(k, b.dim(nd - 2)) << "BatchedMatMulTN inner dim mismatch";
+  Tensor out = BatchedOutput(a, b, m, n, "BatchedMatMulTN");
+  kernels::BatchedGemm(Layout::kTransposed, Layout::kNormal,
+                       a.numel() / (m * k), m, n, k, a.data(), k * m,
+                       b.data(), k * n, out.data());
   return out;
 }
 
@@ -577,8 +580,29 @@ Tensor MatMulLastDim(const Tensor& x, const Tensor& w) {
   out_shape.back() = k_out;
   Tensor out(out_shape);
   // Rows scale with the full batch (B*N*L for Linear layers), so this is
-  // the dominant parallel axis for the sample-batched sampler.
-  ParallelMatMulAccumulate(x.data(), w.data(), out.data(), rows, k_in, k_out);
+  // the dominant parallel axis for the sample-batched sampler. `w` is a
+  // long-lived layer weight: its packed panel comes from the pack cache.
+  kernels::Gemm(Layout::kNormal, Layout::kNormal, rows, k_out, k_in, x.data(),
+                w.data(), out.data(), /*cache_a=*/nullptr, /*cache_b=*/&w);
+  return out;
+}
+
+Tensor MatMulLastDimT(const Tensor& x, const Tensor& w) {
+  PRISTI_CHECK_EQ(w.ndim(), 2);
+  PRISTI_CHECK_GE(x.ndim(), 1);
+  int64_t k_out = x.dim(-1);
+  PRISTI_CHECK_EQ(k_out, w.dim(1)) << "MatMulLastDimT inner dim mismatch";
+  int64_t k_in = w.dim(0);
+  int64_t rows = x.numel() / k_out;
+  Shape out_shape = x.shape();
+  out_shape.back() = k_in;
+  Tensor out(out_shape);
+  // w is read through its transpose in place — the MatMulLastDim backward
+  // needs no materialized wᵀ — and caches a T-layout panel separately from
+  // the forward's N-layout panel.
+  kernels::Gemm(Layout::kNormal, Layout::kTransposed, rows, k_in, k_out,
+                x.data(), w.data(), out.data(), /*cache_a=*/nullptr,
+                /*cache_b=*/&w);
   return out;
 }
 
@@ -592,9 +616,30 @@ Tensor MatMulNodeDim(const Tensor& p, const Tensor& x) {
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 2] = rows_out;
   Tensor out(out_shape);
-  BatchedMatMulAccumulate(p.data(), x.data(), out.data(), batch, rows_out,
-                          rows_in, d, /*stride_a=*/0,
-                          /*stride_b=*/rows_in * d);
+  // p broadcasts across the batch (stride 0) and is a long-lived operator
+  // (graph-conv support, virtual-node projection): cached packed panel.
+  kernels::BatchedGemm(Layout::kNormal, Layout::kNormal, batch, rows_out, d,
+                       rows_in, p.data(), /*stride_a=*/0, x.data(),
+                       /*stride_b=*/rows_in * d, out.data(),
+                       /*cache_a=*/&p);
+  return out;
+}
+
+Tensor MatMulNodeDimT(const Tensor& p, const Tensor& x) {
+  PRISTI_CHECK_EQ(p.ndim(), 2);
+  PRISTI_CHECK_GE(x.ndim(), 2);
+  int64_t rows_out = p.dim(0), rows_in = p.dim(1);
+  PRISTI_CHECK_EQ(rows_out, x.dim(-2)) << "MatMulNodeDimT node-axis mismatch";
+  int64_t d = x.dim(-1);
+  int64_t batch = x.numel() / (rows_out * d);
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 2] = rows_in;
+  Tensor out(out_shape);
+  // pᵀ applied in place (the MatMulNodeDim backward), broadcast + cached.
+  kernels::BatchedGemm(Layout::kTransposed, Layout::kNormal, batch, rows_in,
+                       d, rows_out, p.data(), /*stride_a=*/0, x.data(),
+                       /*stride_b=*/rows_out * d, out.data(),
+                       /*cache_a=*/&p);
   return out;
 }
 

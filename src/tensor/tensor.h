@@ -77,9 +77,12 @@ class Tensor {
 
   // Non-const data() is a mutating access: it forks shared storage first,
   // so the returned pointer is private to this header. Take it AFTER any
-  // copies/views of the tensor have been made, never before.
+  // copies/views of the tensor have been made, never before. The storage
+  // version is bumped on every call: any pack-cache entry keyed on the old
+  // (id, version) pair goes stale the moment a writable pointer escapes.
   float* data() {
     if (storage_ != nullptr && storage_.use_count() > 1) Unshare();
+    if (storage_ != nullptr) storage_->BumpVersion();
     return storage_ != nullptr ? storage_->data() + offset_ : nullptr;
   }
   const float* data() const {
@@ -91,6 +94,16 @@ class Tensor {
   bool SharesStorage(const Tensor& other) const {
     return storage_ != nullptr && storage_ == other.storage_;
   }
+
+  // Storage identity triple consumed by the GEMM pack cache
+  // (tensor/kernels/): (storage_id, storage_version, storage_offset) pins
+  // the exact bytes this header reads, without keeping the Storage alive.
+  // Empty tensors report id 0 (never cached).
+  uint64_t storage_id() const { return storage_ != nullptr ? storage_->id() : 0; }
+  uint64_t storage_version() const {
+    return storage_ != nullptr ? storage_->version() : 0;
+  }
+  int64_t storage_offset() const { return offset_; }
 
   // Guaranteed-private deep copy (fresh storage), regardless of sharing.
   Tensor Clone() const;
@@ -160,17 +173,40 @@ Tensor Clamp(const Tensor& a, float lo, float hi);
 Tensor Where(const Tensor& cond, const Tensor& a, const Tensor& b);
 
 // ---- Matrix products ------------------------------------------------------
+// All products run on the tiled kernel layer in tensor/kernels/ and are
+// bit-identical to the retained reference kernel at any thread count. The
+// NT/TN variants read the transposed operand in place — no TransposeLast2
+// materialization — which is how attention scores (Q·Kᵀ) and every
+// MatMul-family backward pass stay copy-free.
+//
 // (m,k) x (k,n) -> (m,n).
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// (m,k) x (n,k)ᵀ -> (m,n): B is read transposed in place.
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+// (k,m)ᵀ x (k,n) -> (m,n): A is read transposed in place.
+Tensor MatMulTN(const Tensor& a, const Tensor& b);
 // (..., m, k) x (..., k, n) -> (..., m, n); leading dims must match exactly.
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
+// (..., m, k) x (..., n, k)ᵀ -> (..., m, n).
+Tensor BatchedMatMulNT(const Tensor& a, const Tensor& b);
+// (..., k, m)ᵀ x (..., k, n) -> (..., m, n).
+Tensor BatchedMatMulTN(const Tensor& a, const Tensor& b);
 // Applies a shared (k_in, k_out) matrix to the last axis: (..., k_in) ->
-// (..., k_out). This is the kernel behind Linear / Conv1x1 layers.
+// (..., k_out). This is the kernel behind Linear / Conv1x1 layers; the
+// weight's packed panel is cached across calls (see kernels/pack_cache).
 Tensor MatMulLastDim(const Tensor& x, const Tensor& w);
+// Applies the TRANSPOSE of a shared (k_in, k_out) matrix to the last axis:
+// (..., k_out) -> (..., k_in). The backward of MatMulLastDim.
+Tensor MatMulLastDimT(const Tensor& x, const Tensor& w);
 // Applies a shared (rows_out, rows_in) matrix to the second-to-last axis:
 // (..., rows_in, d) -> (..., rows_out, d). Kernel behind graph convolution
-// (rows = nodes) and virtual-node downsampling.
+// (rows = nodes) and virtual-node downsampling; `p`'s packed panel is
+// cached across calls.
 Tensor MatMulNodeDim(const Tensor& p, const Tensor& x);
+// Applies the TRANSPOSE of a shared (rows_out, rows_in) matrix to the
+// second-to-last axis: (..., rows_out, d) -> (..., rows_in, d). The
+// backward of MatMulNodeDim.
+Tensor MatMulNodeDimT(const Tensor& p, const Tensor& x);
 
 // ---- Reductions -------------------------------------------------------------
 float SumAll(const Tensor& a);

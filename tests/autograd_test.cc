@@ -184,6 +184,66 @@ TEST(GradCheck, BatchedMatMul) {
   EXPECT_TRUE(r.ok) << r.message;
 }
 
+TEST(GradCheck, MatMulNT) {
+  Rng rng(61);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(MatMulNT(v[0], v[1])));
+      },
+      {Tensor::Randn({3, 4}, rng), Tensor::Randn({2, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MatMulTN) {
+  Rng rng(62);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(MatMulTN(v[0], v[1])));
+      },
+      {Tensor::Randn({4, 3}, rng), Tensor::Randn({4, 2}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, BatchedMatMulNT) {
+  Rng rng(63);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(BatchedMatMulNT(v[0], v[1])));
+      },
+      {Tensor::Randn({2, 3, 4}, rng), Tensor::Randn({2, 5, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, BatchedMatMulTN) {
+  Rng rng(64);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(BatchedMatMulTN(v[0], v[1])));
+      },
+      {Tensor::Randn({2, 4, 3}, rng), Tensor::Randn({2, 4, 5}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// The NT composition must also agree with the transpose-then-multiply
+// spelling it replaced, both forward (bitwise) and backward.
+TEST(MatMulNTGrad, MatchesExplicitTransposeComposition) {
+  Rng rng(65);
+  Tensor a_init = Tensor::Randn({3, 4}, rng);
+  Tensor b_init = Tensor::Randn({2, 4}, rng);
+
+  Variable a1(a_init.Clone(), true), b1(b_init.Clone(), true);
+  Variable out_nt = MatMulNT(a1, b1);
+  SumAll(Square(out_nt)).Backward();
+
+  Variable a2(a_init.Clone(), true), b2(b_init.Clone(), true);
+  Variable out_tr = MatMul(a2, TransposeLast2(b2));
+  SumAll(Square(out_tr)).Backward();
+
+  EXPECT_TRUE(AllClose(out_nt.value(), out_tr.value(), 0.0f, 0.0f));
+  EXPECT_TRUE(AllClose(a1.grad(), a2.grad(), 1e-6f, 1e-6f));
+  EXPECT_TRUE(AllClose(b1.grad(), b2.grad(), 1e-6f, 1e-6f));
+}
+
 TEST(GradCheck, MatMulLastDim) {
   Rng rng(8);
   auto r = CheckGradients(

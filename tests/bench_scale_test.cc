@@ -17,6 +17,7 @@
 #include "bench_common.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/storage.h"
 #include "test_tmpdir.h"
 
@@ -153,8 +154,12 @@ TEST(SamplerBench, SamplesPerSecondSweep) {
     // recycled (the pre-pool behaviour); `heap_allocs_per_step` is what
     // actually reaches the heap with the pool warm.
     tensor::AllocStats alloc_before = tensor::GetAllocStats();
+    tensor::kernels::KernelStats kernel_before =
+        tensor::kernels::GetKernelStats();
     double batched_sec = run(samples, /*sequential=*/false);
     tensor::AllocStats alloc_after = tensor::GetAllocStats();
+    tensor::kernels::KernelStats kernel_after =
+        tensor::kernels::GetKernelStats();
     double sequential_sec = run(samples, /*sequential=*/true);
     double batched_sps = static_cast<double>(samples) / batched_sec;
     double sequential_sps = static_cast<double>(samples) / sequential_sec;
@@ -171,6 +176,24 @@ TEST(SamplerBench, SamplesPerSecondSweep) {
             ? static_cast<double>(alloc_requests - heap_allocs) /
                   static_cast<double>(alloc_requests)
             : 0.0;
+    // GEMM kernel-layer accounting for the same batched run: sustained
+    // GFLOP/s across the whole phase, and how often the pack cache served a
+    // weight panel instead of repacking it.
+    unsigned long long gemm_calls =
+        kernel_after.gemm_calls - kernel_before.gemm_calls;
+    unsigned long long gemm_flops = kernel_after.flops - kernel_before.flops;
+    unsigned long long pack_lookups =
+        (kernel_after.pack_cache_hits - kernel_before.pack_cache_hits) +
+        (kernel_after.pack_cache_misses - kernel_before.pack_cache_misses);
+    double pack_hit_rate =
+        pack_lookups > 0
+            ? static_cast<double>(kernel_after.pack_cache_hits -
+                                  kernel_before.pack_cache_hits) /
+                  static_cast<double>(pack_lookups)
+            : 0.0;
+    double gflops = batched_sec > 0.0
+                        ? static_cast<double>(gemm_flops) / batched_sec / 1e9
+                        : 0.0;
     std::fprintf(json,
                  "%s\n    {\"samples\": %lld, \"batched_sec\": %.6f, "
                  "\"batched_samples_per_sec\": %.3f, "
@@ -182,18 +205,23 @@ TEST(SamplerBench, SamplesPerSecondSweep) {
                  "\"pool_hit_rate\": %.4f, "
                  "\"alloc_requests_per_step\": %.1f, "
                  "\"heap_allocs_per_step\": %.1f, "
-                 "\"peak_live_mb\": %.1f}",
+                 "\"peak_live_mb\": %.1f, "
+                 "\"gemm_calls\": %llu, "
+                 "\"gemm_gflops_per_sec\": %.3f, "
+                 "\"pack_cache_hit_rate\": %.4f}",
                  first ? "" : ",", static_cast<long long>(samples),
                  batched_sec, batched_sps, sequential_sec, sequential_sps,
                  speedup, alloc_requests, heap_allocs, hit_rate,
                  static_cast<double>(alloc_requests) / steps,
                  static_cast<double>(heap_allocs) / steps,
                  static_cast<double>(alloc_after.peak_live_bytes) /
-                     (1024.0 * 1024.0));
+                     (1024.0 * 1024.0),
+                 gemm_calls, gflops, pack_hit_rate);
     std::printf("%8lld %14.2f %14.2f %9.2fx   pool hit %.1f%% "
-                "(%llu reqs, %llu heap)\n",
+                "(%llu reqs, %llu heap)   gemm %.2f GF/s, pack hit %.1f%%\n",
                 static_cast<long long>(samples), batched_sps, sequential_sps,
-                speedup, 100.0 * hit_rate, alloc_requests, heap_allocs);
+                speedup, 100.0 * hit_rate, alloc_requests, heap_allocs,
+                gflops, 100.0 * pack_hit_rate);
     first = false;
   }
   std::fprintf(json, "\n  ]\n}\n");

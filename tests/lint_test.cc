@@ -268,6 +268,43 @@ TEST_F(LintTest, TensorByValueRuleAcceptsReferencesContainersAndSuppression) {
   EXPECT_TRUE(v.empty()) << FormatViolation(v.front());
 }
 
+TEST_F(LintTest, NoMaterializedTransposeRuleFiresOnTransposeIntoMatMul) {
+  WriteFileAt(
+      root_ / "src/nn/hot.cc",
+      "void Scores() {\n"
+      "  auto s = ag::BatchedMatMul(qh, ag::TransposeLast2(kh));\n"
+      "  auto adj = t::MatMul(e1, t::TransposeLast2(e2));\n"
+      "  auto g = t::MatMulLastDim(x,\n"
+      "                            t::Permute(w, {1, 0}));\n"
+      "}\n");
+  std::vector<Violation> v = CheckNoMaterializedTranspose(root_.string());
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].line, 2);
+  EXPECT_EQ(v[1].line, 3);
+  // Wrapped argument lists still attribute to the MatMul call's line.
+  EXPECT_EQ(v[2].line, 4);
+  EXPECT_NE(v[0].message.find("TransposeLast2"), std::string::npos);
+  EXPECT_NE(v[0].message.find("BatchedMatMul"), std::string::npos);
+  EXPECT_NE(v[2].message.find("Permute"), std::string::npos);
+}
+
+TEST_F(LintTest, NoMaterializedTransposeRuleAcceptsNTVariantsAndSuppression) {
+  WriteFileAt(
+      root_ / "src/nn/clean_mm.cc",
+      "void Clean() {\n"
+      "  auto s = ag::BatchedMatMulNT(qh, kh);\n"
+      "  auto adj = t::MatMulNT(e1, e2);\n"
+      // Transpose of a product (not feeding a MatMul) is fine.
+      "  auto tr = t::TransposeLast2(t::MatMul(a, b));\n"
+      // Transpose mentioned in a comment only.
+      "  auto c = t::MatMul(a, b);  // was TransposeLast2(b)\n"
+      "  auto ok = t::MatMul(a, t::TransposeLast2(b));"
+      "  // pristi-lint: allow-materialized-transpose\n"
+      "}\n");
+  std::vector<Violation> v = CheckNoMaterializedTranspose(root_.string());
+  EXPECT_TRUE(v.empty()) << FormatViolation(v.front());
+}
+
 TEST(LayoutFingerprintTest, MatchesFnv1aReferenceVectors) {
   // Standard FNV-1a 32-bit reference values.
   EXPECT_EQ(LayoutFingerprint(""), 0x811C9DC5u);

@@ -9,6 +9,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "tensor/kernels/kernels.h"
 
 namespace pristi::tensor {
 namespace {
@@ -616,6 +617,152 @@ TEST(Serialization, ViewSerializesAsContiguous) {
   EXPECT_EQ(via_view.str(), via_owned.str());
   Tensor back = ReadTensor(via_view);
   EXPECT_TRUE(AllClose(back, owned, 0.0f, 0.0f));
+}
+
+// ---------------------------------------------------------------------------
+// Tiled GEMM kernel layer (tensor/kernels/): exact equality against the
+// retained reference kernel, thread-count bit-invariance, and the pack
+// cache's identity/version behavior.
+// ---------------------------------------------------------------------------
+
+// Bitwise comparison helper: the tiled layer promises exact equality, so no
+// tolerance anywhere in this section.
+void ExpectBitEqual(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " diverged at flat index " << i;
+  }
+}
+
+// Shapes straddling every tile boundary: 1, odd, kRowTile +/- 1,
+// kColTile +/- 1, and 2*kColTile + 1.
+const int64_t kOddDims[] = {1, 3, 5, 15, 17, 33};
+
+TEST(KernelLayer, TiledMatchesReferenceOnOddShapes) {
+  namespace kn = kernels;
+  Rng rng(71);
+  for (int64_t m : kOddDims) {
+    for (int64_t k : kOddDims) {
+      for (int64_t n : kOddDims) {
+        Tensor a = Tensor::Randn({m, k}, rng);
+        Tensor b = Tensor::Randn({k, n}, rng);
+        Tensor a_t = TransposeLast2(a);  // stored (k, m)
+        Tensor b_t = TransposeLast2(b);  // stored (n, k)
+
+        Tensor ref(Shape{m, n});
+        kn::ReferenceGemm(kn::Layout::kNormal, kn::Layout::kNormal, m, n, k,
+                          a.data(), b.data(), ref.data());
+
+        ExpectBitEqual(MatMul(a, b), ref, "MatMul(NN)");
+        ExpectBitEqual(MatMulNT(a, b_t), ref, "MatMulNT");
+        ExpectBitEqual(MatMulTN(a_t, b), ref, "MatMulTN");
+      }
+    }
+  }
+}
+
+TEST(KernelLayer, BatchedTiledMatchesReference) {
+  namespace kn = kernels;
+  Rng rng(72);
+  const int64_t batch = 3, m = 17, k = 5, n = 33;
+  Tensor a = Tensor::Randn({batch, m, k}, rng);
+  Tensor b = Tensor::Randn({batch, k, n}, rng);
+
+  Tensor ref(Shape{batch, m, n});
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    kn::ReferenceGemm(kn::Layout::kNormal, kn::Layout::kNormal, m, n, k,
+                      a.data() + bi * m * k, b.data() + bi * k * n,
+                      ref.data() + bi * m * n);
+  }
+
+  ExpectBitEqual(BatchedMatMul(a, b), ref, "BatchedMatMul");
+  ExpectBitEqual(BatchedMatMulNT(a, TransposeLast2(b)), ref,
+                 "BatchedMatMulNT");
+  ExpectBitEqual(BatchedMatMulTN(TransposeLast2(a), b), ref,
+                 "BatchedMatMulTN");
+}
+
+TEST(KernelLayer, TransposedSharedOperandVariantsMatchComposition) {
+  Rng rng(73);
+  Tensor x = Tensor::Randn({2, 3, 7}, rng);
+  Tensor w = Tensor::Randn({5, 7}, rng);  // (k_in=5, k_out=7)
+  // (..., k_out) -> (..., k_in) equals multiplying by the materialized wᵀ.
+  ExpectBitEqual(MatMulLastDimT(x, w), MatMulLastDim(x, TransposeLast2(w)),
+                 "MatMulLastDimT");
+
+  Tensor p = Tensor::Randn({4, 3}, rng);  // (rows_out=4, rows_in=3)
+  Tensor y = Tensor::Randn({2, 4, 6}, rng);
+  ExpectBitEqual(MatMulNodeDimT(p, y), MatMulNodeDim(TransposeLast2(p), y),
+                 "MatMulNodeDimT");
+}
+
+TEST(KernelLayer, BitInvariantAcrossThreadCounts) {
+  // Large enough that the row-block ParallelFor actually splits at 4
+  // threads (2*m*n*k well past kMinFlopsPerChunk).
+  auto compute = [] {
+    Rng rng(74);
+    Tensor a = Tensor::Randn({128, 64}, rng);
+    Tensor b = Tensor::Randn({96, 64}, rng);
+    Tensor qk = MatMulNT(a, b);                    // (128, 96)
+    Tensor v = Tensor::Randn({96, 64}, rng);
+    return MatMul(SoftmaxLastDim(qk), v);
+  };
+  int64_t saved = ParallelThreadCount();
+  SetParallelThreadCount(1);
+  Tensor single = compute();
+  SetParallelThreadCount(4);
+  Tensor multi = compute();
+  SetParallelThreadCount(saved);
+  ExpectBitEqual(single, multi, "thread-count invariance");
+}
+
+TEST(KernelLayer, PackCacheHitsOnRepeatAndInvalidatesOnMutation) {
+  namespace kn = kernels;
+  if (!kn::TiledGemmEnabled()) GTEST_SKIP() << "reference path: no packing";
+  Rng rng(75);
+  Tensor x = Tensor::Randn({6, 9}, rng);
+  Tensor w = Tensor::Randn({9, 4}, rng);
+
+  kn::KernelStats before = kn::GetKernelStats();
+  Tensor first = MatMulLastDim(x, w);
+  kn::KernelStats after_first = kn::GetKernelStats();
+  EXPECT_EQ(after_first.pack_cache_hits, before.pack_cache_hits);
+  EXPECT_GT(after_first.pack_cache_misses, before.pack_cache_misses);
+
+  // Same weight storage, same version: the packed panel is reused.
+  Tensor second = MatMulLastDim(x, w);
+  kn::KernelStats after_second = kn::GetKernelStats();
+  EXPECT_EQ(after_second.pack_cache_hits, after_first.pack_cache_hits + 1);
+  EXPECT_EQ(after_second.pack_cache_misses, after_first.pack_cache_misses);
+  ExpectBitEqual(first, second, "cached-panel result");
+
+  // Any mutating access bumps the storage version: next call must miss,
+  // repack, and see the new bytes.
+  w.ScaleInPlace(2.0f);
+  Tensor third = MatMulLastDim(x, w);
+  kn::KernelStats after_third = kn::GetKernelStats();
+  EXPECT_EQ(after_third.pack_cache_hits, after_second.pack_cache_hits);
+  EXPECT_GT(after_third.pack_cache_misses, after_second.pack_cache_misses);
+  ExpectBitEqual(third, MulScalar(first, 2.0f), "post-mutation result");
+}
+
+TEST(KernelLayer, PackCacheDistinguishesCopiesAfterCowFork) {
+  namespace kn = kernels;
+  if (!kn::TiledGemmEnabled()) GTEST_SKIP() << "reference path: no packing";
+  Rng rng(76);
+  Tensor x = Tensor::Randn({4, 9}, rng);
+  Tensor w = Tensor::Randn({9, 4}, rng);
+  Tensor w_copy = w;  // shares storage: same id until a mutation forks it
+  EXPECT_EQ(w.storage_id(), w_copy.storage_id());
+  // Scale by a power of two so x·(2w) == 2·(x·w) holds bitwise (every
+  // partial product and partial sum scales exactly).
+  w_copy.ScaleInPlace(2.0f);  // COW fork: fresh storage, fresh id
+  EXPECT_NE(w.storage_id(), w_copy.storage_id());
+  // Distinct identities cache distinct panels — the fork cannot poison the
+  // original's cache entry.
+  Tensor via_w = MatMulLastDim(x, w);
+  Tensor via_copy = MatMulLastDim(x, w_copy);
+  ExpectBitEqual(via_copy, MulScalar(via_w, 2.0f), "forked-weight result");
 }
 
 }  // namespace

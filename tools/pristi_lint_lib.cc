@@ -342,6 +342,64 @@ std::vector<Violation> CheckSerializeVersionGuard(
   return violations;
 }
 
+std::vector<Violation> CheckNoMaterializedTranspose(
+    const std::string& repo_root) {
+  std::vector<Violation> violations;
+  fs::path src = fs::path(repo_root) / "src";
+  // Any MatMul-family call: MatMul, MatMulNT/TN, BatchedMatMul*,
+  // MatMulLastDim[T], MatMulNodeDim[T] — in tensor or autograd spelling.
+  static const std::regex call_re(R"((\b(?:Batched)?MatMul\w*)\s*\()");
+  static const std::regex transpose_re(R"(\b(TransposeLast2|Permute)\s*\()");
+  for (const fs::path& file : CollectFiles(src, {".h", ".cc"})) {
+    std::string raw = ReadFile(file);
+    std::string stripped = StripCommentsAndStrings(raw);
+    std::vector<std::string> raw_lines = SplitLines(raw);
+    std::string rel = RelPath(file, repo_root);
+    for (auto it =
+             std::sregex_iterator(stripped.begin(), stripped.end(), call_re);
+         it != std::sregex_iterator(); ++it) {
+      // Walk to the matching close paren so the argument text is exactly
+      // what this call consumes (wrapped lines included).
+      size_t open =
+          static_cast<size_t>(it->position()) + it->str().size() - 1;
+      int depth = 0;
+      size_t close = std::string::npos;
+      for (size_t i = open; i < stripped.size(); ++i) {
+        if (stripped[i] == '(') {
+          ++depth;
+        } else if (stripped[i] == ')' && --depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      // Unbalanced only when the file is cut mid-expression; nothing to do.
+      if (close == std::string::npos) continue;
+      std::string args = stripped.substr(open + 1, close - open - 1);
+      std::smatch m;
+      if (!std::regex_search(args, m, transpose_re)) continue;
+      size_t pos = static_cast<size_t>(it->position());
+      int line = 1 + static_cast<int>(std::count(
+                         stripped.begin(),
+                         stripped.begin() + static_cast<std::ptrdiff_t>(pos),
+                         '\n'));
+      if (line - 1 < static_cast<int>(raw_lines.size()) &&
+          raw_lines[static_cast<size_t>(line - 1)].find(
+              "pristi-lint: allow-materialized-transpose") !=
+              std::string::npos) {
+        continue;
+      }
+      violations.push_back(
+          {rel, line, "no-materialized-transpose",
+           m[1].str() + " result feeds " + (*it)[1].str() +
+               " directly, materializing a transposed copy: use the NT/TN "
+               "kernel entry points (MatMulNT, BatchedMatMulTN, "
+               "MatMulLastDimT, ...) which read the operand transposed in "
+               "place"});
+    }
+  }
+  return violations;
+}
+
 std::vector<Violation> CheckTensorByValueParams(const std::string& repo_root) {
   std::vector<Violation> violations;
   fs::path src = fs::path(repo_root) / "src";
@@ -388,9 +446,10 @@ std::vector<Violation> CheckTensorByValueParams(const std::string& repo_root) {
 
 std::vector<Violation> LintRepo(const std::string& repo_root) {
   std::vector<Violation> all;
-  for (auto* rule : {CheckHeaderGuards, CheckBannedPatterns,
-                     CheckCmakeSourceLists, CheckGradCoverage,
-                     CheckSerializeVersionGuard, CheckTensorByValueParams}) {
+  for (auto* rule :
+       {CheckHeaderGuards, CheckBannedPatterns, CheckCmakeSourceLists,
+        CheckGradCoverage, CheckSerializeVersionGuard,
+        CheckNoMaterializedTranspose, CheckTensorByValueParams}) {
     std::vector<Violation> found = rule(repo_root);
     all.insert(all.end(), found.begin(), found.end());
   }

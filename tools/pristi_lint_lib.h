@@ -25,6 +25,15 @@
 //                      fingerprint comment; editing the layout without
 //                      refreshing it — i.e. without consciously bumping
 //                      kFormatVersion — fails the lint.
+//   no-materialized-transpose
+//                      no `TransposeLast2(...)` / `Permute(...)` result fed
+//                      directly into a `MatMul*` call in src/. The kernel
+//                      layer's NT/TN entry points (MatMulNT, BatchedMatMulTN,
+//                      MatMulLastDimT, ...) read the transposed operand in
+//                      place; composing with TransposeLast2 materializes a
+//                      full copy per call on the hottest paths. Suppress a
+//                      deliberate composition with a trailing
+//                      `// pristi-lint: allow-materialized-transpose`.
 //   tensor-by-value    no pass-by-value `Tensor` / `Variable` function
 //                      parameters in src/. Tensors are shared-storage
 //                      headers, so a by-value parameter hides whether the
@@ -74,6 +83,7 @@ std::vector<Violation> CheckBannedPatterns(const std::string& repo_root);
 std::vector<Violation> CheckCmakeSourceLists(const std::string& repo_root);
 std::vector<Violation> CheckGradCoverage(const std::string& repo_root);
 std::vector<Violation> CheckSerializeVersionGuard(const std::string& repo_root);
+std::vector<Violation> CheckNoMaterializedTranspose(const std::string& repo_root);
 std::vector<Violation> CheckTensorByValueParams(const std::string& repo_root);
 
 // All rules.
