@@ -15,7 +15,8 @@
 //     c = (((0 + a(i,0)*b(0,j)) + a(i,1)*b(1,j)) + ...)
 // in strictly increasing k order — each product rounded, then the add
 // rounded, never a fused multiply-add (the AVX variant in sgemm.cc uses
-// explicit mul_ps/add_ps for exactly this reason). Tiling and SIMD width
+// explicit mul_ps/add_ps, and the build compiles everything with
+// -ffp-contract=off so no config re-fuses them). Tiling and SIMD width
 // only change which independent chains advance together, and packing only
 // changes where operand bytes are read from, so the tiled kernels (AVX or
 // generic, selected by runtime CPUID) are bit-identical to the reference

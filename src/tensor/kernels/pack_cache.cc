@@ -1,10 +1,13 @@
 #include "tensor/kernels/pack_cache.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/env.h"
 
@@ -46,7 +49,14 @@ struct Cache {
   std::mutex mu;
   std::list<PackKey> lru;  // front = most recently used
   std::unordered_map<PackKey, Entry, KeyHash, KeyEq> map;
+  // Secondary index for the storage-destruction hook: every key currently
+  // in `map`, grouped by storage id (a storage caches at most a handful of
+  // panel shapes, so the vectors stay tiny).
+  std::unordered_map<uint64_t, std::vector<PackKey>> by_storage;
   uint64_t bytes = 0;
+  // Lock-free emptiness check so ~Storage skips the mutex entirely while
+  // nothing is cached (training runs, PRISTI_PACK_CACHE_MB=0).
+  std::atomic<size_t> entry_count{0};
 };
 
 Cache& cache() {
@@ -61,6 +71,26 @@ uint64_t CapBytes() {
       static_cast<uint64_t>(GetEnvIntOr("PRISTI_PACK_CACHE_MB", 64)) * 1024 *
       1024;
   return cap;
+}
+
+// Removes one entry from every cache structure (map, LRU list, by-storage
+// index, byte/entry accounting). Caller holds c.mu; `it` must be valid.
+void EraseEntryLocked(
+    Cache& c,
+    std::unordered_map<PackKey, Entry, KeyHash, KeyEq>::iterator it) {
+  auto bucket = c.by_storage.find(it->first.storage_id);
+  if (bucket != c.by_storage.end()) {
+    std::vector<PackKey>& keys = bucket->second;
+    keys.erase(std::remove_if(
+                   keys.begin(), keys.end(),
+                   [&](const PackKey& k) { return KeyEq{}(k, it->first); }),
+               keys.end());
+    if (keys.empty()) c.by_storage.erase(bucket);
+  }
+  c.bytes -= it->second.bytes;
+  c.lru.erase(it->second.lru_it);
+  c.map.erase(it);
+  c.entry_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -104,13 +134,12 @@ void PackCacheInsert(const PackKey& key, uint64_t version, PackedPanel panel) {
     c.lru.push_front(key);
     c.map.emplace(key,
                   Entry{version, std::move(panel), bytes, c.lru.begin()});
+    c.by_storage[key.storage_id].push_back(key);
     c.bytes += bytes;
+    c.entry_count.fetch_add(1, std::memory_order_relaxed);
   }
   while (c.bytes > CapBytes() && !c.lru.empty()) {
-    auto victim = c.map.find(c.lru.back());
-    c.bytes -= victim->second.bytes;
-    c.map.erase(victim);
-    c.lru.pop_back();
+    EraseEntryLocked(c, c.map.find(c.lru.back()));
   }
   Counters().pack_cache_bytes.store(c.bytes, std::memory_order_relaxed);
 }
@@ -120,8 +149,29 @@ void PackCacheClear() {
   std::scoped_lock lock(c.mu);
   c.map.clear();
   c.lru.clear();
+  c.by_storage.clear();
   c.bytes = 0;
+  c.entry_count.store(0, std::memory_order_relaxed);
   Counters().pack_cache_bytes.store(0, std::memory_order_relaxed);
+}
+
+void PackCacheOnStorageDestroyed(uint64_t storage_id) {
+  Cache& c = cache();
+  // Relaxed pre-check: a racing insert for a DIFFERENT storage may be
+  // missed here, but entries for THIS storage cannot appear concurrently —
+  // the inserting GEMM holds the tensor (and thus the storage) alive.
+  if (c.entry_count.load(std::memory_order_relaxed) == 0) return;
+  std::scoped_lock lock(c.mu);
+  auto bucket = c.by_storage.find(storage_id);
+  if (bucket == c.by_storage.end()) return;
+  // Detach the key list first: EraseEntryLocked edits the bucket in place.
+  const std::vector<PackKey> keys = std::move(bucket->second);
+  c.by_storage.erase(bucket);
+  for (const PackKey& key : keys) {
+    auto it = c.map.find(key);
+    if (it != c.map.end()) EraseEntryLocked(c, it);
+  }
+  Counters().pack_cache_bytes.store(c.bytes, std::memory_order_relaxed);
 }
 
 }  // namespace pristi::tensor::kernels

@@ -67,6 +67,14 @@ void PackCacheInsert(const PackKey& key, uint64_t version, PackedPanel panel);
 // Drops every entry (counters keep accumulating). Test hook.
 void PackCacheClear();
 
+// Storage-destruction hook (called by ~Storage): drops every entry packed
+// from this storage id. Ids are process-unique, so such entries can never
+// hit again — without this, panels of short-lived cacheable tensors would
+// sit resident until LRU pressure evicted them, pushing live weight panels
+// out of the byte cap. Cheap for the common (never-cached) storage: an
+// atomic emptiness check, then one hash probe under the lock.
+void PackCacheOnStorageDestroyed(uint64_t storage_id);
+
 }  // namespace pristi::tensor::kernels
 
 #endif  // PRISTI_TENSOR_KERNELS_PACK_CACHE_H_

@@ -95,10 +95,24 @@ void PackBPanel(Layout layout, int64_t k, int64_t n, const float* b,
   }
 }
 
+// Sizes a packing destination. The scratch vectors below are thread_local
+// and the pool threads are persistent, so without a shrink a single huge
+// activation GEMM would pin O(m*k + k*n) floats per worker for the rest of
+// the process; drop the allocation first when it dwarfs the request (4x,
+// above a 1 MiB floor so steady-state same-shape packing never thrashes).
+void ResizeForPanel(std::vector<float>* out, int64_t floats) {
+  constexpr size_t kShrinkFloorFloats = (size_t{1} << 20) / sizeof(float);
+  const size_t want = static_cast<size_t>(floats);
+  if (out->capacity() > kShrinkFloorFloats && out->capacity() / 4 > want) {
+    std::vector<float>().swap(*out);
+  }
+  out->resize(want);
+}
+
 void PackAFull(Layout layout, int64_t m, int64_t k, const float* a,
                std::vector<float>* out) {
   const int64_t blocks = CeilDiv(m, kRowTile);
-  out->resize(static_cast<size_t>(blocks * k * kRowTile));
+  ResizeForPanel(out, blocks * k * kRowTile);
   for (int64_t ib = 0; ib < blocks; ++ib) {
     PackAPanel(layout, m, k, a, ib * kRowTile,
                out->data() + ib * k * kRowTile);
@@ -110,7 +124,7 @@ void PackAFull(Layout layout, int64_t m, int64_t k, const float* a,
 void PackBFull(Layout layout, int64_t k, int64_t n, const float* b,
                std::vector<float>* out) {
   const int64_t blocks = CeilDiv(n, kColTile);
-  out->resize(static_cast<size_t>(blocks * k * kColTile));
+  ResizeForPanel(out, blocks * k * kColTile);
   for (int64_t jb = 0; jb < blocks; ++jb) {
     PackBPanel(layout, k, n, b, jb * kColTile,
                out->data() + jb * k * kColTile);
@@ -135,7 +149,12 @@ void PackBFull(Layout layout, int64_t k, int64_t n, const float* b,
 //    mul_ps + add_ps, never an FMA: a fused multiply-add rounds once where
 //    the contract rounds twice, so FMA would break bit-identity. Each SIMD
 //    lane is one independent c[i][j] chain — vector width changes nothing
-//    about per-element arithmetic order.
+//    about per-element arithmetic order. NOTE: writing separate intrinsics
+//    is not sufficient by itself — the compiler inlines this function into
+//    -march=native callers and, under -ffp-contract=fast/on, re-fuses the
+//    mul/add pairs (and contracts the scalar loops above) into FMAs. The
+//    build therefore sets -ffp-contract=off globally (CMakeLists.txt), and
+//    tensor_test's NoFusedMultiplyAdd canary pins the double rounding.
 //  * MicroKernelGeneric — walks the 16-wide panel in two 8-wide halves so
 //    the 4x8 accumulator fits the 16 xmm registers of baseline SSE2 (a
 //    4x16 float accumulator spills, measured 4x slower than reference).

@@ -8,6 +8,12 @@
 #include "common/check.h"
 #include "common/env.h"
 
+// Forward-declared instead of including pack_cache.h: the hook is the one
+// point of contact between storage and the kernel layer's panel cache.
+namespace pristi::tensor::kernels {
+void PackCacheOnStorageDestroyed(uint64_t storage_id);
+}  // namespace pristi::tensor::kernels
+
 namespace pristi::tensor {
 namespace {
 
@@ -179,6 +185,10 @@ Storage::Storage(int64_t numel) {
 }
 
 Storage::~Storage() {
+  // Packed panels keyed on this id can never hit again (ids are unique for
+  // the process lifetime); drop them now instead of letting dead panels
+  // squat in the cache until LRU pressure pushes live weights out.
+  kernels::PackCacheOnStorageDestroyed(id_);
   const int64_t capacity = bucket_ >= 0 ? BucketCapacity(bucket_) : size_;
   counters().live_bytes.fetch_sub(
       static_cast<uint64_t>(capacity) * sizeof(float),

@@ -27,6 +27,7 @@
 //   PRISTI_MALLOC_TUNE=1    re-enable the legacy glibc mallopt tuning that
 //                           the pool replaced (src/tensor/tensor.cc).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -91,8 +92,14 @@ class Storage {
   // be revived, which makes cache entries keyed on it safe without keeping
   // the Storage alive.
   uint64_t id() const { return id_; }
-  uint64_t version() const { return version_; }
-  void BumpVersion() { ++version_; }
+  // The counter is atomic (relaxed) so a mutating access on one thread
+  // overlapping a pack-cache lookup on another stays a well-defined data
+  // race on the counter itself — the lookup sees some monotonic value and
+  // at worst misses/repacks once; the caller still owns synchronization of
+  // the payload bytes. Relaxed suffices: no ordering with the data is
+  // implied, only torn reads are excluded (and TSan stays clean).
+  uint64_t version() const { return version_.load(std::memory_order_relaxed); }
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_relaxed); }
 
   static std::shared_ptr<Storage> Allocate(int64_t numel) {
     return std::make_shared<Storage>(numel);
@@ -102,8 +109,8 @@ class Storage {
   float* data_ = nullptr;
   int64_t size_ = 0;
   int32_t bucket_ = -1;  // free-list index; -1 = unpooled (oversized/disabled)
-  uint64_t id_ = 0;       // process-unique (atomic counter, not the address)
-  uint64_t version_ = 0;  // mutation counter; bumped via BumpVersion()
+  uint64_t id_ = 0;  // process-unique (atomic counter, not the address)
+  std::atomic<uint64_t> version_{0};  // mutations; bumped via BumpVersion()
 };
 
 }  // namespace pristi::tensor

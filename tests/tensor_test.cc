@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "tensor/kernels/kernels.h"
+#include "tensor/kernels/pack_cache.h"
 
 namespace pristi::tensor {
 namespace {
@@ -763,6 +764,67 @@ TEST(KernelLayer, PackCacheDistinguishesCopiesAfterCowFork) {
   Tensor via_w = MatMulLastDim(x, w);
   Tensor via_copy = MatMulLastDim(x, w_copy);
   ExpectBitEqual(via_copy, MulScalar(via_w, 2.0f), "forked-weight result");
+}
+
+TEST(KernelLayer, PackCacheDropsEntriesWhenStorageDies) {
+  namespace kn = kernels;
+  if (!kn::TiledGemmEnabled() || !kn::PackCacheEnabled()) {
+    GTEST_SKIP() << "pack cache off";
+  }
+  Rng rng(78);
+  Tensor x = Tensor::Randn({5, 24}, rng);
+  kn::KernelStats before = kn::GetKernelStats();
+  {
+    Tensor w = Tensor::Randn({24, 8}, rng);
+    Tensor y = MatMulLastDim(x, w);
+    kn::KernelStats cached = kn::GetKernelStats();
+    EXPECT_GT(cached.pack_cache_bytes, before.pack_cache_bytes)
+        << "weight panel was not cached";
+  }
+  // ~Storage drops the panel: the dead id can never hit again, so keeping
+  // it resident could only displace live weight panels under the byte cap.
+  kn::KernelStats after = kn::GetKernelStats();
+  EXPECT_EQ(after.pack_cache_bytes, before.pack_cache_bytes)
+      << "dead storage's panel stayed resident";
+}
+
+TEST(KernelLayer, NoFusedMultiplyAdd) {
+  namespace kn = kernels;
+  // Draw operands where contracting the second step of the k=2 chain into
+  // an FMA changes the result: strict = round(round(a1*b1) + round(a0*b0))
+  // vs fused = fma(a1, b1, round(a0*b0)). Random draws hit one quickly.
+  Rng rng(77);
+  float a0 = 0.f, b0 = 0.f, a1 = 0.f, b1 = 0.f, strict = 0.f;
+  bool found = false;
+  for (int tries = 0; tries < 10000 && !found; ++tries) {
+    Tensor t = Tensor::Randn({4}, rng);
+    a0 = t[0];
+    b0 = t[1];
+    a1 = t[2];
+    b1 = t[3];
+    // volatile blocks the test's own compilation flags from fusing.
+    volatile float p0 = a0 * b0;
+    volatile float p1 = a1 * b1;
+    strict = p0 + p1;
+    found = strict != std::fma(a1, b1, p0);
+  }
+  ASSERT_TRUE(found) << "no FMA-sensitive operands drawn";
+  // Every kernel must produce the twice-rounded chain. A compiler that
+  // contracts `+=` — or re-fuses the AVX kernel's mul/add intrinsics after
+  // inlining them into a -march=native caller — computes the fused value
+  // instead, so this canary fails if -ffp-contract=off is ever dropped
+  // from the build (CMakeLists.txt).
+  Tensor a(Shape{1, 2});
+  Tensor b(Shape{2, 1});
+  a.data()[0] = a0;
+  a.data()[1] = a1;
+  b.data()[0] = b0;
+  b.data()[1] = b1;
+  Tensor ref(Shape{1, 1});
+  kn::ReferenceGemm(kn::Layout::kNormal, kn::Layout::kNormal, 1, 1, 2,
+                    a.data(), b.data(), ref.data());
+  EXPECT_EQ(ref[0], strict) << "reference kernel contracted to FMA";
+  EXPECT_EQ(MatMul(a, b)[0], strict) << "tiled kernel contracted to FMA";
 }
 
 }  // namespace

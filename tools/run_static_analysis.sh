@@ -54,6 +54,30 @@ for mode in $configs; do
   echo "==== [$mode] OK ===="
 done
 
+# Native-arch bit-identity leg (skip with PRISTI_NATIVE_BITEQ=0). The
+# sanitizer matrix above builds with PRISTI_NATIVE_ARCH=OFF, where baseline
+# x86-64 has no FMA instruction and so can never contract mul/add chains —
+# which is exactly the configuration that masks a missing -ffp-contract=off.
+# Build once with the default native flags on the actual host and run the
+# exact-equality / golden suites (benches excluded) so a contraction
+# regression surfaces on FMA-capable hardware.
+if [ "${PRISTI_NATIVE_BITEQ:-1}" != "0" ]; then
+  build_dir="$repo_root/build-native-biteq"
+  echo "==== [native-biteq] configure -> $build_dir ===="
+  if cmake -S "$repo_root" -B "$build_dir" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DPRISTI_NATIVE_ARCH=ON \
+      -DPRISTI_DEBUG_CHECKS=ON \
+      && cmake --build "$build_dir" -j "$jobs" \
+      && (cd "$build_dir" && PRISTI_THREADS="${PRISTI_THREADS:-4}" \
+          ctest --output-on-failure -j "$jobs" -LE bench); then
+    echo "==== [native-biteq] OK ===="
+  else
+    echo "==== [native-biteq] FAILED ===="
+    status=1
+  fi
+fi
+
 if [ "$status" -ne 0 ]; then
   echo "run_static_analysis: FAILURES detected (see logs above)"
 else
