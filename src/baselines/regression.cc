@@ -13,7 +13,6 @@ namespace {
 // interpolation, as a (T_train, N) matrix.
 Tensor CompletedTrainingMatrix(const data::ImputationTask& task) {
   int64_t t_train = task.train_end;
-  int64_t n = task.dataset.num_nodes;
   Tensor values = task.normalizer.Apply(
       t::SliceAxis(task.dataset.values, 0, 0, t_train), /*node_major=*/false);
   Tensor mask = t::SliceAxis(task.model_observed_mask, 0, 0, t_train);

@@ -1,34 +1,66 @@
 #ifndef PRISTI_COMMON_ENV_H_
 #define PRISTI_COMMON_ENV_H_
 
-// Environment-variable knobs shared by the bench harness. Benches default to
-// CI-friendly reduced scale; set PRISTI_SCALE=full for paper-scale shapes.
+// Environment-variable knobs: the accessors (GetEnvOr / GetEnvIntOr) and
+// the registry of every PRISTI_* knob the tree reads.
 //
-// Memory-model knobs (consumed by src/tensor/storage.cc and tensor.cc; all
-// read once at first allocation, so set them before the process starts):
-//   PRISTI_BUFFER_POOL=0   disable the Storage buffer pool's recycling —
-//                          every tensor buffer comes from the heap. The A/B
-//                          baseline for allocator measurements; counters in
-//                          tensor::GetAllocStats() accumulate either way.
-//   PRISTI_POOL_MAX_MB=N   cap on bytes cached in the pool's free lists
-//                          (default 512). Excess frees go back to the heap.
-//   PRISTI_MALLOC_TUNE=1   re-enable the legacy glibc mallopt(M_MMAP_-
-//                          THRESHOLD/M_TRIM_THRESHOLD) tuning that predated
-//                          the pool. Off by default: the pool recycles
-//                          activation buffers directly, so the process-global
-//                          malloc tweak is no longer needed.
+// The block between the markers below is machine-checked by the
+// env-registry pass of pristi_analyze: every `getenv`/`GetEnvOr` of a
+// PRISTI_* name anywhere in src/, tools/, tests/ or bench/ (including
+// tools/*.sh) must be declared here, and every declared knob must be read
+// somewhere. Keep one `//   PRISTI_NAME  <default — effect>` line per
+// knob; continuation lines are free-form.
 //
-// GEMM kernel-layer knobs (consumed by src/tensor/kernels/; read once at
-// first GEMM):
-//   PRISTI_GEMM_TILE=0       route every matrix product through the retained
-//                            reference kernel (operands read in place, no
-//                            packing) instead of the tiled micro-kernel. The
-//                            A/B baseline for KernelBench; results are
-//                            bit-identical either way.
-//   PRISTI_PACK_CACHE_MB=N   cap on resident packed weight panels in the
-//                            GEMM pack cache (default 64). 0 disables the
-//                            cache: every call repacks its operands into
-//                            thread-local scratch.
+// pristi-env-registry-begin
+//
+// Scale and debugging:
+//   PRISTI_SCALE  "quick" — benches and eval default to CI-friendly
+//          reduced scale; "full" selects paper-scale shapes
+//          (FullScaleRequested below).
+//   PRISTI_THREADS  0 — worker-thread count for the persistent
+//          ParallelFor pool (src/common/parallel.cc); 0/unset means
+//          hardware concurrency. Also honored by the sanitizer matrix in
+//          tools/run_static_analysis.sh.
+//   PRISTI_DEBUG_NANCHECK  0 — 1 enables the non-finite-value canary in
+//          debug checks (src/common/check.cc): tensors are scanned for
+//          NaN/Inf at checkpoints, at a large cost.
+//
+// Memory model (consumed by src/tensor/storage.cc and tensor.cc; read
+// once at first allocation, so set them before the process starts):
+//   PRISTI_BUFFER_POOL  1 — 0 disables the Storage buffer pool's
+//          recycling; every tensor buffer comes from the heap. The A/B
+//          baseline for allocator measurements; counters in
+//          tensor::GetAllocStats() accumulate either way.
+//   PRISTI_POOL_MAX_MB  512 — cap on bytes cached in the pool's free
+//          lists. Excess frees go back to the heap.
+//   PRISTI_MALLOC_TUNE  0 — 1 re-enables the legacy glibc
+//          mallopt(M_MMAP_THRESHOLD/M_TRIM_THRESHOLD) tuning that
+//          predated the pool. Off by default: the pool recycles
+//          activation buffers directly.
+//
+// GEMM kernel layer (consumed by src/tensor/kernels/; read once at first
+// GEMM):
+//   PRISTI_GEMM_TILE  1 — 0 routes every matrix product through the
+//          retained reference kernel (operands read in place, no packing)
+//          instead of the tiled micro-kernel. The A/B baseline for
+//          KernelBench; results are bit-identical either way.
+//   PRISTI_PACK_CACHE_MB  64 — cap on resident packed weight panels in
+//          the GEMM pack cache. 0 disables the cache: every call repacks
+//          its operands into thread-local scratch.
+//
+// Test and CI harness:
+//   PRISTI_REGEN_GOLDEN  unset — when set, golden-file tests
+//          (serialize_test, sampler_equivalence_test) rewrite their
+//          checked-in golden artifacts instead of comparing against them.
+//   PRISTI_BENCH_DIR  unset — when set, bench-flavored tests
+//          (bench_scale_test, kernel_bench_test) write their JSON reports
+//          into this directory.
+//   PRISTI_SANITIZE_CONFIGS  "address+undefined thread" — which sanitizer
+//          configs tools/run_static_analysis.sh builds and tests.
+//   PRISTI_NATIVE_BITEQ  0 — 1 adds the -march=native bit-identity leg to
+//          tools/run_static_analysis.sh (requires matching hardware).
+//
+// pristi-env-registry-end
 
 #include <cstdlib>
 #include <string>

@@ -19,7 +19,7 @@
 
 #include "autograd/variable.h"
 #include "common/rng.h"
-#include "serialize/status.h"
+#include "common/status.h"
 
 namespace pristi::nn {
 
@@ -56,8 +56,8 @@ class Module {
   // version skew, shape mismatch — comes back as a typed error instead of a
   // CHECK abort. Defined in serialize/checkpoint.cc: the nn layer does not
   // link pristi_serialize, callers of these two members must.
-  serialize::Status SaveCheckpoint(std::ostream& out);
-  serialize::Status LoadCheckpoint(std::istream& in);
+  pristi::Status SaveCheckpoint(std::ostream& out);
+  pristi::Status LoadCheckpoint(std::istream& in);
 
  protected:
   // Registers a parameter initialized to `init`; the returned Variable

@@ -1,79 +1,19 @@
 #ifndef PRISTI_SERIALIZE_STATUS_H_
 #define PRISTI_SERIALIZE_STATUS_H_
 
-// Typed error reporting for the checkpoint/serialization subsystem.
-//
-// Loading a checkpoint must fail loudly and *safely* on every kind of file
-// damage — truncation, bit corruption, version skew, shape mismatch — so
-// the load path never CHECK-aborts and never touches uninitialized memory.
-// Every failure is mapped to an ErrorCode that the fault-injection tests in
-// tests/serialize_test.cc assert on, plus a human-readable message naming
-// the offending record. Header-only so low layers (nn::Module) can mention
-// Status in their interfaces without linking pristi_serialize.
+// Compatibility shim: Status moved to common/status.h so that interfaces
+// below serialize in the layering DAG (nn::Module's checkpoint entry
+// points) can mention it without a forbidden nn -> serialize include
+// edge. Existing pristi::serialize::Status spellings keep working through
+// these aliases; new code should include "common/status.h" directly.
 
-#include <string>
-#include <utility>
+#include "common/status.h"
 
 namespace pristi::serialize {
 
-enum class ErrorCode {
-  kOk = 0,
-  kIoError,            // open/read/write/rename failed at the OS level
-  kBadMagic,           // file does not start with the checkpoint magic
-  kVersionSkew,        // format version differs from kFormatVersion
-  kTruncated,          // file ends mid-record / before the end record
-  kBadRecord,          // structurally invalid record (bad length, garbage)
-  kChecksumMismatch,   // per-record CRC32 does not match the payload
-  kMissingRecord,      // a record the loader requires is absent
-  kTypeMismatch,       // record exists but holds a different payload type
-  kShapeMismatch,      // tensor record shape differs from the destination
-  kCountMismatch,      // parameter/moment count differs from the target
-  kConfigMismatch,     // stored config (schedule, optimizer) disagrees
-};
-
-inline const char* ErrorCodeName(ErrorCode code) {
-  switch (code) {
-    case ErrorCode::kOk: return "ok";
-    case ErrorCode::kIoError: return "io-error";
-    case ErrorCode::kBadMagic: return "bad-magic";
-    case ErrorCode::kVersionSkew: return "version-skew";
-    case ErrorCode::kTruncated: return "truncated";
-    case ErrorCode::kBadRecord: return "bad-record";
-    case ErrorCode::kChecksumMismatch: return "checksum-mismatch";
-    case ErrorCode::kMissingRecord: return "missing-record";
-    case ErrorCode::kTypeMismatch: return "type-mismatch";
-    case ErrorCode::kShapeMismatch: return "shape-mismatch";
-    case ErrorCode::kCountMismatch: return "count-mismatch";
-    case ErrorCode::kConfigMismatch: return "config-mismatch";
-  }
-  return "unknown";
-}
-
-class Status {
- public:
-  Status() : code_(ErrorCode::kOk) {}
-  Status(ErrorCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
-
-  static Status Ok() { return Status(); }
-  static Status Error(ErrorCode code, std::string message) {
-    return Status(code, std::move(message));
-  }
-
-  bool ok() const { return code_ == ErrorCode::kOk; }
-  ErrorCode code() const { return code_; }
-  const std::string& message() const { return message_; }
-
-  // "checksum-mismatch: record 'model.w' ..." for logs and test output.
-  std::string ToString() const {
-    if (ok()) return "ok";
-    return std::string(ErrorCodeName(code_)) + ": " + message_;
-  }
-
- private:
-  ErrorCode code_;
-  std::string message_;
-};
+using pristi::ErrorCode;
+using pristi::ErrorCodeName;
+using pristi::Status;
 
 }  // namespace pristi::serialize
 

@@ -73,7 +73,9 @@ TEST(MeanImputerTest, NearZeroInNormalizedSpace) {
   data::Sample sample = data::ExtractSamples(task, "test").front();
   Tensor out = imputer.Impute(sample, rng);
   for (int64_t i = 0; i < out.numel(); ++i) {
-    if (sample.observed[i] < 0.5f) EXPECT_LT(std::fabs(out[i]), 0.3f);
+    if (sample.observed[i] < 0.5f) {
+      EXPECT_LT(std::fabs(out[i]), 0.3f);
+    }
   }
 }
 
@@ -176,7 +178,9 @@ TEST(MiceTest, PreservesObservedEntries) {
   data::Sample sample = data::ExtractSamples(task, "test").front();
   Tensor out = mice.Impute(sample, rng);
   for (int64_t i = 0; i < out.numel(); ++i) {
-    if (sample.observed[i] > 0.5f) EXPECT_FLOAT_EQ(out[i], sample.values[i]);
+    if (sample.observed[i] > 0.5f) {
+      EXPECT_FLOAT_EQ(out[i], sample.values[i]);
+    }
   }
 }
 
@@ -243,7 +247,9 @@ TEST(BatfTest, RecoversAdditiveStructure) {
   BatfImputer batf;
   Tensor out = batf.Impute(sample, rng);
   for (int64_t i = 0; i < x.numel(); ++i) {
-    if (mask[i] < 0.5f) EXPECT_NEAR(out[i], x[i], 0.35f);
+    if (mask[i] < 0.5f) {
+      EXPECT_NEAR(out[i], x[i], 0.35f);
+    }
   }
 }
 

@@ -205,7 +205,9 @@ TEST_P(MaskStrategyTest, TargetIsSubsetOfObserved) {
     Tensor target = ApplyMaskStrategy(observed, GetParam(), rng);
     EXPECT_EQ(target.shape(), observed.shape());
     for (int64_t i = 0; i < target.numel(); ++i) {
-      if (target[i] > 0.5f) EXPECT_GT(observed[i], 0.5f) << "entry " << i;
+      if (target[i] > 0.5f) {
+        EXPECT_GT(observed[i], 0.5f) << "entry " << i;
+      }
     }
   }
 }
@@ -313,7 +315,9 @@ TEST(LinearInterpolateFn, PreservesObservedEntries) {
   }
   Tensor filled = LinearInterpolate(values, mask);
   for (int64_t i = 0; i < mask.numel(); ++i) {
-    if (mask[i] > 0.5f) EXPECT_FLOAT_EQ(filled[i], values[i]);
+    if (mask[i] > 0.5f) {
+      EXPECT_FLOAT_EQ(filled[i], values[i]);
+    }
   }
 }
 

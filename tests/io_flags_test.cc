@@ -169,7 +169,9 @@ TEST(StmvlTest, PreservesObservedEntries) {
   data::Sample sample = data::ExtractSamples(task, "test").front();
   Tensor out = stmvl.Impute(sample, rng);
   for (int64_t i = 0; i < out.numel(); ++i) {
-    if (sample.observed[i] > 0.5f) EXPECT_FLOAT_EQ(out[i], sample.values[i]);
+    if (sample.observed[i] > 0.5f) {
+      EXPECT_FLOAT_EQ(out[i], sample.values[i]);
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/env.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -75,9 +76,9 @@ double TimePerCall(const Fn& fn) {
 
 TEST(KernelBench, GemmGflopsOnPresetShapes) {
   pristi::testing::TestTempDir tmp;
-  const char* bench_dir = std::getenv("PRISTI_BENCH_DIR");
-  std::string json_path = bench_dir != nullptr
-                              ? std::string(bench_dir) + "/BENCH_kernels.json"
+  std::string bench_dir = pristi::GetEnvOr("PRISTI_BENCH_DIR", "");
+  std::string json_path = !bench_dir.empty()
+                              ? bench_dir + "/BENCH_kernels.json"
                               : tmp.File("BENCH_kernels.json");
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   ASSERT_NE(json, nullptr);

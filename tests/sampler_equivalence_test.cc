@@ -17,7 +17,7 @@
 // ImputationResult property tests.
 //
 // Regenerating the golden after an INTENTIONAL sampler change:
-//   PRISTI_REGEN_GOLDEN=1 ./build/tests/sampler_equivalence_test \
+//   PRISTI_REGEN_GOLDEN=1 ./build/tests/sampler_equivalence_test
 //     --gtest_filter='GoldenRegression.*'
 // then commit the rewritten tests/golden/sampler_batched_16node.txt.
 
@@ -29,6 +29,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/env.h"
 #include "common/parallel.h"
 #include "diffusion/ddpm.h"
 #include "diffusion/schedule.h"
@@ -322,7 +323,7 @@ TEST(GoldenRegression, BatchedSamplerMatchesCheckedInGolden) {
   const int64_t n = 16, l = 8;
   ImputationResult result = RunGoldenConfig();
 
-  if (std::getenv("PRISTI_REGEN_GOLDEN") != nullptr) {
+  if (!pristi::GetEnvOr("PRISTI_REGEN_GOLDEN", "").empty()) {
     std::ofstream out(GoldenPath());
     ASSERT_TRUE(out.good()) << "cannot write golden " << GoldenPath();
     out << "# sampler golden: 16-node window, 8 samples, 20 ancestral steps\n"

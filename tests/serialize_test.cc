@@ -6,7 +6,7 @@
 // the diffusion trainer, and the seeded training-loss golden.
 //
 // Regenerating the training golden after an INTENTIONAL trainer change:
-//   PRISTI_REGEN_GOLDEN=1 ./build/tests/serialize_test \
+//   PRISTI_REGEN_GOLDEN=1 ./build/tests/serialize_test
 //     --gtest_filter='TrainingGolden.*'
 // then commit the rewritten tests/golden/train_loss_aqi36.txt.
 
@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/env.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "data/dataset.h"
@@ -246,7 +247,7 @@ TEST(StorageGolden, ViewBackedCheckpointBytesMatchPreRefactorFile) {
     w->AddI64("storage.format", 1);
   });
 
-  if (std::getenv("PRISTI_REGEN_GOLDEN") != nullptr) {
+  if (!pristi::GetEnvOr("PRISTI_REGEN_GOLDEN", "").empty()) {
     std::ofstream out(PRISTI_STORAGE_GOLDEN_PATH, std::ios::binary);
     ASSERT_TRUE(out.is_open())
         << "cannot write golden " << PRISTI_STORAGE_GOLDEN_PATH;
@@ -765,7 +766,7 @@ TEST(TrainingGolden, SeededAqi36LossCurveMatchesGolden) {
     ASSERT_GT(loss, 0.0);
   }
 
-  if (std::getenv("PRISTI_REGEN_GOLDEN") != nullptr) {
+  if (!pristi::GetEnvOr("PRISTI_REGEN_GOLDEN", "").empty()) {
     std::ofstream out(PRISTI_TRAIN_GOLDEN_PATH);
     ASSERT_TRUE(out.is_open())
         << "cannot write golden " << PRISTI_TRAIN_GOLDEN_PATH;

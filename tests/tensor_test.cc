@@ -476,7 +476,9 @@ TEST(ClampTensor, BoundsRespected) {
   EXPECT_LE(MaxAll(clamped), 0.5f);
   // Interior values untouched.
   for (int64_t i = 0; i < 64; ++i) {
-    if (a[i] > -0.5f && a[i] < 0.5f) EXPECT_FLOAT_EQ(clamped[i], a[i]);
+    if (a[i] > -0.5f && a[i] < 0.5f) {
+      EXPECT_FLOAT_EQ(clamped[i], a[i]);
+    }
   }
 }
 

@@ -34,7 +34,8 @@ class TestTempDir {
     for (char& c : name) {
       if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
     }
-    name += "_" + std::to_string(static_cast<long long>(getpid()));
+    name += '_';
+    name += std::to_string(static_cast<long long>(getpid()));
     path_ = std::filesystem::temp_directory_path() / name;
     std::filesystem::remove_all(path_);  // stale leftovers from a crash
     std::filesystem::create_directories(path_);

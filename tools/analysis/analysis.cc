@@ -1,0 +1,271 @@
+#include "analysis.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace pristi::analysis {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+// Shell files get suppressions from a plain per-line scan: anything after a
+// `#` is comment enough for our purposes.
+std::map<int, std::set<std::string>> ShellSuppressions(
+    const std::vector<std::string>& lines) {
+  static const std::regex allow_re(R"(pristi-lint:\s*allow-([A-Za-z0-9-]+))");
+  std::map<int, std::set<std::string>> result;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (auto it =
+             std::sregex_iterator(lines[i].begin(), lines[i].end(), allow_re);
+         it != std::sregex_iterator(); ++it) {
+      result[static_cast<int>(i + 1)].insert((*it)[1].str());
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+bool SourceFile::IsSuppressed(int line, const std::string& rule) const {
+  for (int probe : {line, line - 1}) {
+    auto it = suppressions.find(probe);
+    if (it != suppressions.end() && it->second.count(rule) > 0) return true;
+  }
+  return false;
+}
+
+const SourceFile* RepoContext::Find(const std::string& rel) const {
+  auto it = files_.find(rel);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<const SourceFile*> RepoContext::FilesUnder(
+    const std::string& prefix) const {
+  std::vector<const SourceFile*> result;
+  for (const auto& [rel, file] : files_) {
+    if (rel.rfind(prefix, 0) == 0) result.push_back(&file);
+  }
+  return result;  // map iteration is already sorted by path
+}
+
+void RepoContext::Insert(SourceFile file) {
+  std::string rel = file.rel;
+  files_[rel] = std::move(file);
+}
+
+std::vector<IncludeDirective> ParseIncludes(
+    const std::vector<std::string>& raw_lines,
+    const std::vector<std::string>& stripped_lines) {
+  // The include path itself is a string literal, which the stripped text
+  // blanks — so the path is read from the raw line, but only when the
+  // stripped line still carries the directive (a commented-out include
+  // leaves nothing behind in the stripped text).
+  static const std::regex include_re(
+      R"(^\s*#\s*include\s*(["<])([^">]+)([">]))");
+  static const std::regex directive_re(R"(^\s*#\s*include\b)");
+  std::vector<IncludeDirective> result;
+  const size_t n = std::min(raw_lines.size(), stripped_lines.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw_lines[i], m, include_re)) continue;
+    if (!std::regex_search(stripped_lines[i], directive_re)) continue;
+    IncludeDirective inc;
+    inc.path = m[2].str();
+    inc.line = static_cast<int>(i + 1);
+    inc.angled = m[1].str() == "<";
+    result.push_back(inc);
+  }
+  return result;
+}
+
+RepoContext BuildRepoContext(const std::string& repo_root) {
+  RepoContext ctx(repo_root);
+  const fs::path root(repo_root);
+  for (const char* top : {"src", "tools", "tests", "bench"}) {
+    fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::string ext = entry.path().extension().string();
+      bool cpp = ext == ".h" || ext == ".cc";
+      bool shell = ext == ".sh" && std::string(top) == "tools";
+      if (cpp || shell) paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& path : paths) {
+      SourceFile file;
+      file.rel = fs::relative(path, root).generic_string();
+      file.raw = ReadFile(path);
+      file.raw_lines = SplitLines(file.raw);
+      if (path.extension() == ".sh") {
+        file.is_shell = true;
+        file.stripped = file.raw;
+        file.stripped_lines = file.raw_lines;
+        file.suppressions = ShellSuppressions(file.raw_lines);
+      } else {
+        TokenizedSource tok = Tokenize(file.raw);
+        file.stripped = std::move(tok.stripped);
+        file.stripped_lines = SplitLines(file.stripped);
+        file.tokens = std::move(tok.tokens);
+        file.suppressions = std::move(tok.suppressions);
+        file.includes = ParseIncludes(file.raw_lines, file.stripped_lines);
+      }
+      ctx.Insert(std::move(file));
+    }
+  }
+  return ctx;
+}
+
+const std::vector<Pass>& Passes() {
+  static const std::vector<Pass> passes{
+      {"header-guard", "canonical PRISTI_<PATH>_H_ include guards",
+       CheckHeaderGuards},
+      {"banned-pattern", "no rand(), std::cout, or naked new in src/",
+       CheckBannedPatterns},
+      {"cmake-sources", "every sibling .cc is listed in its CMakeLists.txt",
+       CheckCmakeSourceLists},
+      {"grad-coverage", "every autograd op has a gradient test",
+       CheckGradCoverage},
+      {"serialize-version-guard",
+       "checkpoint layout edits must bump kFormatVersion",
+       CheckSerializeVersionGuard},
+      {"no-materialized-transpose",
+       "no TransposeLast2/Permute result fed into MatMul*",
+       CheckNoMaterializedTranspose},
+      {"tensor-by-value", "no pass-by-value Tensor/Variable parameters",
+       CheckTensorByValueParams},
+      {"layering", "module DAG from layers.manifest over the include graph",
+       CheckLayering},
+      {"env-registry",
+       "PRISTI_* env knobs declared in src/common/env.h, none dead",
+       CheckEnvRegistry},
+      {"dcheck-purity", "no side effects inside PRISTI_DCHECK*",
+       CheckDcheckPurity},
+      {"parallel-region",
+       "no locks, I/O, or Tensor allocation inside ParallelFor lambdas",
+       CheckParallelRegion},
+      {"fp-contraction",
+       "no FMA/FP_CONTRACT; kernel accumulation only in blessed helpers",
+       CheckFpContraction},
+  };
+  return passes;
+}
+
+std::vector<Violation> AnalyzeRepo(const RepoContext& ctx,
+                                   const std::set<std::string>& rules) {
+  std::vector<Violation> all;
+  for (const Pass& pass : Passes()) {
+    if (!rules.empty() && rules.count(pass.name) == 0) continue;
+    std::vector<Violation> found = pass.run(ctx);
+    for (Violation& v : found) {
+      if (v.line > 0) {
+        const SourceFile* file = ctx.Find(v.file);
+        if (file != nullptr && file->IsSuppressed(v.line, v.rule)) continue;
+      }
+      all.push_back(std::move(v));
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return all;
+}
+
+std::vector<Violation> LintRepo(const std::string& repo_root) {
+  RepoContext ctx = BuildRepoContext(repo_root);
+  return AnalyzeRepo(ctx);
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream out;
+  out << v.file;
+  if (v.line > 0) out << ":" << v.line;
+  out << " [" << v.rule << "] " << v.message;
+  return out.str();
+}
+
+std::string CanonicalHeaderGuard(const std::string& rel_path) {
+  std::string guard = "PRISTI_";
+  for (char c : rel_path) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+std::vector<std::string> DifferentiableOps(const std::string& ops_header) {
+  std::vector<std::string> ops;
+  static const std::regex decl(R"(^Variable\s+(\w+)\s*\()");
+  for (const std::string& line : SplitLines(ops_header)) {
+    std::smatch m;
+    if (std::regex_search(line, m, decl)) {
+      ops.push_back(m[1].str());
+    }
+  }
+  return ops;
+}
+
+uint32_t LayoutFingerprint(const std::string& text) {
+  uint32_t hash = 2166136261u;  // FNV-1a offset basis
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 16777619u;  // FNV prime
+  }
+  return hash;
+}
+
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open) {
+  if (open >= tokens.size() || tokens[open].kind != TokenKind::kPunct) {
+    return tokens.size();
+  }
+  const std::string& o = tokens[open].text;
+  std::string close = o == "(" ? ")" : o == "[" ? "]" : o == "{" ? "}" : "";
+  if (close.empty()) return tokens.size();
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (tokens[i].text == o) {
+      ++depth;
+    } else if (tokens[i].text == close && --depth == 0) {
+      return i;
+    }
+  }
+  return tokens.size();
+}
+
+}  // namespace pristi::analysis

@@ -1,0 +1,176 @@
+#ifndef PRISTI_TOOLS_ANALYSIS_ANALYSIS_H_
+#define PRISTI_TOOLS_ANALYSIS_ANALYSIS_H_
+
+// pristi_analyze: the repo's static-analysis engine.
+//
+// The engine loads every C++ source file under src/, tools/, tests/ and
+// bench/ (plus tools/*.sh for the env-knob pass) exactly once into a
+// RepoContext — raw text, stripped text, token stream, per-line
+// suppression table — and runs a registered list of passes over it. Each
+// pass returns Violations; the engine then applies the uniform
+// suppression mechanism (`// pristi-lint: allow-<rule>` on the violating
+// line or the line above) and sorts the result for deterministic reports.
+//
+// Passes (rule ids):
+//
+//   header-guard         canonical PRISTI_<PATH>_H_ include guards (src/).
+//   banned-pattern       no rand(), std::cout, or naked new in src/.
+//   cmake-sources        every sibling .cc is listed in its CMakeLists.txt.
+//   grad-coverage        every op in autograd/ops.h has a gradient test.
+//   serialize-version-guard
+//                        checkpoint layout edits must bump kFormatVersion.
+//   no-materialized-transpose
+//                        no TransposeLast2/Permute result fed into MatMul*.
+//   tensor-by-value      no pass-by-value Tensor/Variable parameters.
+//   layering             the module DAG declared in
+//                        tools/analysis/layers.manifest is enforced over
+//                        the real include graph (forbidden edges, include
+//                        cycles, undeclared modules, manifest cycles).
+//   env-registry         every getenv/GetEnvOr of a PRISTI_* name resolves
+//                        to a knob documented in src/common/env.h between
+//                        the pristi-env-registry markers, no documented
+//                        knob is dead, and raw std::getenv("PRISTI_*")
+//                        outside common/env.h routes through GetEnvOr.
+//   dcheck-purity        no side effects (++/--/assignment/non-allowlisted
+//                        calls) inside PRISTI_DCHECK*, which compiles out
+//                        under release.
+//   parallel-region      no mutex acquisition, I/O, or allocating Tensor
+//                        construction inside ParallelFor lambda bodies.
+//   fp-contraction       no std::fma/_mm*_fmadd_*/FP_CONTRACT pragmas in
+//                        src/, and raw multiply-accumulate loops in
+//                        src/tensor/kernels/ only inside the blessed
+//                        accumulation helpers named in layers.manifest.
+//
+// See docs/static_analysis.md for the full architecture.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "token_stream.h"
+
+namespace pristi::analysis {
+
+struct Violation {
+  std::string file;     // repo-relative path
+  int line = 0;         // 1-based; 0 when the rule is file-scoped
+  std::string rule;     // rule id, e.g. "layering"
+  std::string message;  // human-readable description
+};
+
+struct IncludeDirective {
+  std::string path;  // as written between the quotes/brackets
+  int line = 0;
+  bool angled = false;  // #include <...> (system headers; never resolved)
+};
+
+// One analyzed file. C++ sources carry the full token stream; shell
+// scripts (env-registry scope) carry only raw/stripped-as-raw lines and
+// suppressions found anywhere on a line.
+struct SourceFile {
+  std::string rel;  // repo-relative path, '/'-separated
+  bool is_shell = false;
+  std::string raw;
+  std::vector<std::string> raw_lines;
+  std::string stripped;  // == raw for shell files
+  std::vector<std::string> stripped_lines;
+  std::vector<Token> tokens;  // empty for shell files
+  std::map<int, std::set<std::string>> suppressions;
+  std::vector<IncludeDirective> includes;
+
+  // True when `rule` is suppressed at `line` (suppression on the line
+  // itself or on the line immediately above).
+  bool IsSuppressed(int line, const std::string& rule) const;
+};
+
+// Every analyzed file, loaded once and shared by all passes.
+class RepoContext {
+ public:
+  explicit RepoContext(std::string root) : root_(std::move(root)) {}
+
+  const std::string& root() const { return root_; }
+  const std::map<std::string, SourceFile>& files() const { return files_; }
+
+  // nullptr when `rel` was not loaded.
+  const SourceFile* Find(const std::string& rel) const;
+  // All loaded files whose repo-relative path starts with `prefix`,
+  // sorted by path.
+  std::vector<const SourceFile*> FilesUnder(const std::string& prefix) const;
+
+  void Insert(SourceFile file);
+
+ private:
+  std::string root_;
+  std::map<std::string, SourceFile> files_;
+};
+
+// Loads .h/.cc files under src/, tools/, tests/, bench/ and .sh files
+// under tools/ into a RepoContext.
+RepoContext BuildRepoContext(const std::string& repo_root);
+
+// Parses `#include` directives out of a file's raw + stripped lines
+// (commented-out includes are ignored). Exposed for tests.
+std::vector<IncludeDirective> ParseIncludes(
+    const std::vector<std::string>& raw_lines,
+    const std::vector<std::string>& stripped_lines);
+
+// ---- Individual passes ----------------------------------------------------
+// Each returns unfiltered violations; AnalyzeRepo applies suppressions.
+
+std::vector<Violation> CheckHeaderGuards(const RepoContext& ctx);
+std::vector<Violation> CheckBannedPatterns(const RepoContext& ctx);
+std::vector<Violation> CheckCmakeSourceLists(const RepoContext& ctx);
+std::vector<Violation> CheckGradCoverage(const RepoContext& ctx);
+std::vector<Violation> CheckSerializeVersionGuard(const RepoContext& ctx);
+std::vector<Violation> CheckNoMaterializedTranspose(const RepoContext& ctx);
+std::vector<Violation> CheckTensorByValueParams(const RepoContext& ctx);
+std::vector<Violation> CheckLayering(const RepoContext& ctx);
+std::vector<Violation> CheckEnvRegistry(const RepoContext& ctx);
+std::vector<Violation> CheckDcheckPurity(const RepoContext& ctx);
+std::vector<Violation> CheckParallelRegion(const RepoContext& ctx);
+std::vector<Violation> CheckFpContraction(const RepoContext& ctx);
+
+struct Pass {
+  std::string name;  // rule id emitted by the pass
+  std::string description;
+  std::vector<Violation> (*run)(const RepoContext&);
+};
+
+// All registered passes, in report order.
+const std::vector<Pass>& Passes();
+
+// Runs the selected passes (all when `rules` is empty), filters suppressed
+// violations through the per-file suppression tables, and sorts by
+// (file, line, rule). Unknown rule names in `rules` are ignored; the
+// driver validates them against Passes() first.
+std::vector<Violation> AnalyzeRepo(const RepoContext& ctx,
+                                   const std::set<std::string>& rules = {});
+
+// Convenience: BuildRepoContext + AnalyzeRepo with every pass.
+std::vector<Violation> LintRepo(const std::string& repo_root);
+
+std::string FormatViolation(const Violation& v);
+
+// ---- Shared helpers reused by passes and tests ----------------------------
+
+// Canonical include guard for a header at `rel_path` below src/
+// (e.g. "common/check.h" -> "PRISTI_COMMON_CHECK_H_").
+std::string CanonicalHeaderGuard(const std::string& rel_path);
+
+// Names of `Variable Foo(...)` operators declared in (already stripped)
+// ops.h source.
+std::vector<std::string> DifferentiableOps(const std::string& ops_header);
+
+// FNV-1a 32-bit hash; the fingerprint the serialize-version-guard rule
+// compares against the comment in src/serialize/format.h.
+uint32_t LayoutFingerprint(const std::string& text);
+
+// Index of the token matching the `(` opened at `open` (which must be a
+// "(" / "[" / "{" punct token); tokens.size() when unbalanced.
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open);
+
+}  // namespace pristi::analysis
+
+#endif  // PRISTI_TOOLS_ANALYSIS_ANALYSIS_H_

@@ -1,0 +1,170 @@
+#include "include_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pristi::analysis {
+
+namespace {
+
+// Lexically normalizes "a/b/../c" and "a/./b" without touching the
+// filesystem (the context's keys are generic '/' paths).
+std::string NormalizePath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  auto flush = [&]() {
+    if (part.empty() || part == ".") {
+      part.clear();
+      return;
+    }
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+    } else {
+      parts.push_back(part);
+    }
+    part.clear();
+  };
+  for (char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      part.push_back(c);
+    }
+  }
+  flush();
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out.push_back('/');
+    out += p;
+  }
+  return out;
+}
+
+std::string DirName(const std::string& rel) {
+  size_t slash = rel.find_last_of('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+}  // namespace
+
+const std::vector<IncludeEdge>& IncludeGraph::EdgesFrom(
+    const std::string& rel) const {
+  static const std::vector<IncludeEdge> kEmpty;
+  auto it = by_source_.find(rel);
+  return it == by_source_.end() ? kEmpty : it->second;
+}
+
+void IncludeGraph::AddEdge(IncludeEdge edge) {
+  by_source_[edge.from].push_back(edge);
+  edges_.push_back(std::move(edge));
+}
+
+std::vector<std::vector<std::string>> IncludeGraph::FindCycles(
+    const std::string& prefix) const {
+  // Iterative DFS with an explicit color map; a back edge to a gray node
+  // closes a cycle, which is canonicalized (rotated to start at its
+  // smallest member) and deduplicated.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<std::string> nodes;
+  auto in_scope = [&](const std::string& rel) {
+    return rel.rfind(prefix, 0) == 0;
+  };
+  for (const IncludeEdge& e : edges_) {
+    if (in_scope(e.from) && color.emplace(e.from, Color::kWhite).second) {
+      nodes.push_back(e.from);
+    }
+    if (in_scope(e.to) && color.emplace(e.to, Color::kWhite).second) {
+      nodes.push_back(e.to);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+
+  std::set<std::vector<std::string>> seen;
+  std::vector<std::vector<std::string>> cycles;
+  std::vector<std::string> stack;
+
+  // Recursive lambda via explicit frames to stay stack-safe on deep graphs.
+  struct Frame {
+    std::string node;
+    size_t next_edge = 0;
+  };
+  for (const std::string& start : nodes) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, 0});
+    color[start] = Color::kGray;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::vector<IncludeEdge>& out = EdgesFrom(frame.node);
+      bool descended = false;
+      while (frame.next_edge < out.size()) {
+        const IncludeEdge& e = out[frame.next_edge++];
+        if (!in_scope(e.to)) continue;
+        Color c = color[e.to];
+        if (c == Color::kWhite) {
+          color[e.to] = Color::kGray;
+          stack.push_back(e.to);
+          frames.push_back({e.to, 0});
+          descended = true;
+          break;
+        }
+        if (c == Color::kGray) {
+          // stack holds the path; the cycle is from e.to to the top.
+          auto it = std::find(stack.begin(), stack.end(), e.to);
+          std::vector<std::string> cycle(it, stack.end());
+          auto smallest = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), smallest, cycle.end());
+          cycle.push_back(cycle.front());
+          if (seen.insert(cycle).second) cycles.push_back(cycle);
+        }
+      }
+      if (!descended) {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return cycles;
+}
+
+std::string ResolveInclude(const RepoContext& ctx, const std::string& from_rel,
+                           const std::string& path) {
+  const std::string dir = DirName(from_rel);
+  const std::string candidates[] = {
+      dir.empty() ? path : dir + "/" + path,  // relative to the includer
+      "src/" + path,                          // the build's -I src
+      path,                                   // repo-root relative
+  };
+  for (const std::string& candidate : candidates) {
+    std::string normalized = NormalizePath(candidate);
+    if (ctx.Find(normalized) != nullptr) return normalized;
+  }
+  return std::string();
+}
+
+IncludeGraph BuildIncludeGraph(const RepoContext& ctx) {
+  IncludeGraph graph;
+  for (const auto& [rel, file] : ctx.files()) {
+    if (file.is_shell) continue;
+    for (const IncludeDirective& inc : file.includes) {
+      if (inc.angled) continue;  // system header: not a repo edge
+      std::string target = ResolveInclude(ctx, rel, inc.path);
+      if (target.empty()) continue;
+      graph.AddEdge({rel, target, inc.line});
+    }
+  }
+  return graph;
+}
+
+std::string ModuleOf(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return std::string();
+  size_t start = 4;
+  size_t slash = rel.find('/', start);
+  if (slash == std::string::npos) return std::string();  // file directly in src/
+  return rel.substr(start, slash - start);
+}
+
+}  // namespace pristi::analysis

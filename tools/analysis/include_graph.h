@@ -1,0 +1,64 @@
+#ifndef PRISTI_TOOLS_ANALYSIS_INCLUDE_GRAPH_H_
+#define PRISTI_TOOLS_ANALYSIS_INCLUDE_GRAPH_H_
+
+// Repo-wide include graph for the pristi_analyze engine.
+//
+// Nodes are repo-relative paths of files loaded into the RepoContext.
+// Quoted includes are resolved the way the build resolves them: first
+// relative to the including file's directory, then against src/ (the
+// build adds -I src), then against the repo root. Angled includes are
+// system headers and are never resolved (they are not graph edges).
+// A quoted include that resolves to nothing known (e.g. a generated or
+// third-party header) is silently skipped — the layering pass only judges
+// edges between files it can see.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace pristi::analysis {
+
+struct IncludeEdge {
+  std::string from;  // repo-relative path of the including file
+  std::string to;    // repo-relative path of the resolved header
+  int line = 0;      // line of the #include directive in `from`
+};
+
+class IncludeGraph {
+ public:
+  const std::vector<IncludeEdge>& edges() const { return edges_; }
+  // Outgoing edges of one file (empty vector when the file has none).
+  const std::vector<IncludeEdge>& EdgesFrom(const std::string& rel) const;
+
+  // Every include cycle among files whose path starts with `prefix`,
+  // reported as the chain of repo-relative paths ["a", "b", ..., "a"].
+  // Each cycle is reported once (from its lexicographically smallest
+  // member); an acyclic graph yields an empty result.
+  std::vector<std::vector<std::string>> FindCycles(
+      const std::string& prefix) const;
+
+  void AddEdge(IncludeEdge edge);
+
+ private:
+  std::vector<IncludeEdge> edges_;
+  std::map<std::string, std::vector<IncludeEdge>> by_source_;
+};
+
+// Resolves one quoted include `path` written in file `from_rel` against the
+// context; returns the repo-relative path of the target, or "" when the
+// include does not resolve to a loaded file.
+std::string ResolveInclude(const RepoContext& ctx, const std::string& from_rel,
+                           const std::string& path);
+
+// Builds the graph over every C++ file in the context.
+IncludeGraph BuildIncludeGraph(const RepoContext& ctx);
+
+// Module of a repo-relative path under src/: "src/tensor/kernels/sgemm.cc"
+// -> "tensor". Empty string for paths outside src/.
+std::string ModuleOf(const std::string& rel);
+
+}  // namespace pristi::analysis
+
+#endif  // PRISTI_TOOLS_ANALYSIS_INCLUDE_GRAPH_H_

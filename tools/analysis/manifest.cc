@@ -1,0 +1,134 @@
+#include "manifest.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pristi::analysis {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return std::string();
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> words;
+  std::istringstream in(s);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+}  // namespace
+
+LayerManifest ParseLayerManifest(const std::string& text) {
+  LayerManifest manifest;
+  manifest.loaded = true;
+  enum class Section { kNone, kLayers, kFpBlessed };
+  Section section = Section::kNone;
+  int line_no = 0;
+  std::istringstream in(text);
+  std::string raw_line;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    std::string line = raw_line;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line == "[layers]") {
+        section = Section::kLayers;
+      } else if (line == "[fp-blessed]") {
+        section = Section::kFpBlessed;
+      } else {
+        manifest.parse_errors.push_back("line " + std::to_string(line_no) +
+                                        ": unknown section " + line);
+        section = Section::kNone;
+      }
+      continue;
+    }
+    switch (section) {
+      case Section::kLayers: {
+        size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+          manifest.parse_errors.push_back(
+              "line " + std::to_string(line_no) +
+              ": expected `<module> = <deps...>`, got `" + line + "`");
+          break;
+        }
+        std::string module = Trim(line.substr(0, eq));
+        if (module.empty() || module.find(' ') != std::string::npos) {
+          manifest.parse_errors.push_back("line " + std::to_string(line_no) +
+                                          ": bad module name `" + module + "`");
+          break;
+        }
+        std::set<std::string>& deps = manifest.layers[module];
+        for (const std::string& dep : SplitWords(line.substr(eq + 1))) {
+          deps.insert(dep);
+        }
+        break;
+      }
+      case Section::kFpBlessed: {
+        std::vector<std::string> words = SplitWords(line);
+        if (words.size() != 1) {
+          manifest.parse_errors.push_back(
+              "line " + std::to_string(line_no) +
+              ": expected one function name per line, got `" + line + "`");
+          break;
+        }
+        manifest.blessed_accumulators.insert(words[0]);
+        break;
+      }
+      case Section::kNone:
+        manifest.parse_errors.push_back("line " + std::to_string(line_no) +
+                                        ": content outside any [section]");
+        break;
+    }
+  }
+  return manifest;
+}
+
+std::vector<std::string> ManifestCycleMembers(const LayerManifest& manifest) {
+  // Kahn's algorithm over module -> dep edges; whatever cannot be
+  // topologically ordered sits on (or depends into) a cycle. Deps that are
+  // not themselves declared modules are ignored here — the layering pass
+  // reports those separately.
+  std::map<std::string, int> out_degree;  // unresolved declared deps
+  std::map<std::string, std::vector<std::string>> dependents;
+  for (const auto& [module, deps] : manifest.layers) {
+    int degree = 0;
+    for (const std::string& dep : deps) {
+      if (dep == module) continue;
+      if (manifest.layers.count(dep) == 0) continue;
+      ++degree;
+      dependents[dep].push_back(module);
+    }
+    out_degree[module] = degree;
+  }
+  std::vector<std::string> ready;
+  for (const auto& [module, degree] : out_degree) {
+    if (degree == 0) ready.push_back(module);
+  }
+  size_t resolved = 0;
+  while (!ready.empty()) {
+    std::string module = ready.back();
+    ready.pop_back();
+    ++resolved;
+    for (const std::string& dependent : dependents[module]) {
+      if (--out_degree[dependent] == 0) ready.push_back(dependent);
+    }
+  }
+  std::vector<std::string> cyclic;
+  if (resolved == out_degree.size()) return cyclic;
+  for (const auto& [module, degree] : out_degree) {
+    if (degree > 0) cyclic.push_back(module);
+  }
+  std::sort(cyclic.begin(), cyclic.end());
+  return cyclic;
+}
+
+}  // namespace pristi::analysis

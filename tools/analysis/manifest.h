@@ -1,0 +1,49 @@
+#ifndef PRISTI_TOOLS_ANALYSIS_MANIFEST_H_
+#define PRISTI_TOOLS_ANALYSIS_MANIFEST_H_
+
+// Checked-in analysis manifest (tools/analysis/layers.manifest).
+//
+// The manifest declares repo policy as data, so tightening or relaxing it
+// is a reviewed diff instead of an analyzer code change. Two sections:
+//
+//   [layers]
+//     <module> = <dep> <dep> ...
+//   One line per directory directly under src/. A module may include
+//   headers only from itself and its listed deps; the declared relation
+//   must itself be a DAG. Order within a line is irrelevant.
+//
+//   [fp-blessed]
+//     <FunctionName>
+//   The blessed accumulation helpers: the only functions in
+//   src/tensor/kernels/ allowed to contain raw `x += a * b` float
+//   multiply-accumulate chains (the fp-contraction pass flags the rest).
+//
+// `#` starts a comment; blank lines are ignored.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pristi::analysis {
+
+struct LayerManifest {
+  bool loaded = false;  // manifest file existed and parsed
+  // module -> allowed dependency modules (self-dependency implicit).
+  std::map<std::string, std::set<std::string>> layers;
+  std::set<std::string> blessed_accumulators;
+  std::vector<std::string> parse_errors;  // malformed lines, with line numbers
+};
+
+// Repo-relative location of the manifest.
+inline const char* kManifestRelPath = "tools/analysis/layers.manifest";
+
+LayerManifest ParseLayerManifest(const std::string& text);
+
+// Modules involved in a dependency cycle of the declared [layers] relation,
+// sorted; empty when the manifest is a DAG.
+std::vector<std::string> ManifestCycleMembers(const LayerManifest& manifest);
+
+}  // namespace pristi::analysis
+
+#endif  // PRISTI_TOOLS_ANALYSIS_MANIFEST_H_

@@ -1,0 +1,107 @@
+// dcheck-purity: PRISTI_DCHECK* compiles out under NDEBUG (unless
+// PRISTI_DEBUG_CHECKS), so any side effect inside its arguments silently
+// changes release behavior. Flags, inside the argument list of every
+// PRISTI_DCHECK / PRISTI_DCHECK_EQ/NE/LT/LE/GT/GE invocation in src/:
+//   * increment/decrement (`++`, `--`),
+//   * assignment (`=`, `+=`, `-=`, ... — never `==` and friends; the
+//     tokenizer's longest-match keeps them distinct), and
+//   * calls to functions outside a small allowlist of known-pure
+//     observers (size/shape/accessor-style). A DCHECK that must call
+//     something impure-looking but actually pure can carry
+//     `// pristi-lint: allow-dcheck-purity`.
+
+#include <regex>
+#include <set>
+
+#include "analysis.h"
+
+namespace pristi::analysis {
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+// Known-pure callees: const observers, shape/size accessors, cmath
+// predicates. Everything else called inside a DCHECK is assumed
+// side-effecting until allowlisted here or suppressed at the site.
+const std::set<std::string>& PureCallees() {
+  static const std::set<std::string> pure{
+      "numel",     "size",       "dim",        "ndim",      "dims",
+      "shape",     "empty",      "data",       "capacity",  "length",
+      "count",     "begin",      "end",        "front",     "back",
+      "at",        "find",       "get",        "value",     "has_value",
+      "first",     "second",     "ok",         "code",      "name",
+      "message",   "c_str",      "str",        "min",       "max",
+      "abs",       "fabs",       "sqrt",       "isfinite",  "isnan",
+      "isinf",     "load",       "ShapesEqual", "rank",     "rows",
+      "cols",      "storage_id", "storage_offset", "storage_version",
+      "GradModeEnabled", "InParallelRegion",
+  };
+  return pure;
+}
+
+const std::set<std::string>& AssignmentOps() {
+  static const std::set<std::string> ops{"=",  "+=", "-=",  "*=",  "/=",
+                                         "%=", "&=", "|=",  "^=",  "<<=",
+                                         ">>="};
+  return ops;
+}
+
+}  // namespace
+
+std::vector<Violation> CheckDcheckPurity(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  static const std::regex dcheck_re(R"(^PRISTI_DCHECK(_[A-Z]+)*$)");
+  for (const SourceFile* file : ctx.FilesUnder("src/")) {
+    const std::vector<Token>& tokens = file->tokens;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier ||
+          !std::regex_match(tokens[i].text, dcheck_re) ||
+          !IsPunct(tokens[i + 1], "(")) {
+        continue;
+      }
+      const size_t close = MatchingClose(tokens, i + 1);
+      if (close >= tokens.size()) continue;
+      for (size_t j = i + 2; j < close; ++j) {
+        const Token& t = tokens[j];
+        if (t.kind == TokenKind::kPunct) {
+          if (t.text == "++" || t.text == "--") {
+            violations.push_back(
+                {file->rel, t.line, "dcheck-purity",
+                 "`" + t.text + "` inside " + tokens[i].text +
+                     ": the expression compiles out under release, taking "
+                     "the side effect with it"});
+          } else if (AssignmentOps().count(t.text) > 0) {
+            violations.push_back(
+                {file->rel, t.line, "dcheck-purity",
+                 "assignment `" + t.text + "` inside " + tokens[i].text +
+                     ": the expression compiles out under release, taking "
+                     "the side effect with it"});
+          }
+          continue;
+        }
+        if (t.kind == TokenKind::kIdentifier && j + 1 < close &&
+            IsPunct(tokens[j + 1], "(")) {
+          // `cond` in the macro's own definition, casts, and allowlisted
+          // observers are fine; anything else is a call we cannot prove
+          // pure.
+          if (PureCallees().count(t.text) > 0) continue;
+          if (t.text == "static_cast" || t.text == "condition" ||
+              t.text == "cond") {
+            continue;
+          }
+          violations.push_back(
+              {file->rel, t.line, "dcheck-purity",
+               "call to `" + t.text + "(...)` inside " + tokens[i].text +
+                   " is not on the known-pure allowlist: hoist it out of "
+                   "the DCHECK or suppress if provably pure"});
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace pristi::analysis

@@ -1,0 +1,157 @@
+// env-registry: every PRISTI_* environment knob read anywhere in src/,
+// tools/, tests/ or bench/ must be declared in the registry block of
+// src/common/env.h (between the pristi-env-registry-begin/-end markers),
+// and every declared knob must be read somewhere (no dead documentation).
+// Reads are
+//   * C++: `getenv` / `GetEnvOr` / `GetEnvIntOr` called with a "PRISTI_*"
+//     string literal (token-level match, so strings in comments, test
+//     fixtures, or docs never count), and
+//   * shell (tools/*.sh): `$PRISTI_FOO` / `${PRISTI_FOO...}` expansions.
+// Raw `std::getenv("PRISTI_*")` outside common/env.h is additionally
+// flagged: route it through GetEnvOr/GetEnvIntOr so defaulting and parsing
+// stay in one place.
+
+#include <map>
+#include <regex>
+
+#include "analysis.h"
+
+namespace pristi::analysis {
+
+namespace {
+
+constexpr const char* kRegistryRel = "src/common/env.h";
+constexpr const char* kBeginMarker = "pristi-env-registry-begin";
+constexpr const char* kEndMarker = "pristi-env-registry-end";
+
+struct KnobUse {
+  std::string file;
+  int line = 0;
+  bool raw_getenv = false;
+};
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+// Declared knobs: registry lines of the form `//   PRISTI_NAME  <doc...>`
+// between the markers. Returns name -> declaration line.
+std::map<std::string, int> ParseRegistry(const SourceFile& env_header,
+                                         bool* markers_found) {
+  static const std::regex decl_re(R"(^\s*//\s+(PRISTI_[A-Z0-9_]+)\b)");
+  std::map<std::string, int> declared;
+  bool inside = false;
+  *markers_found = false;
+  for (size_t i = 0; i < env_header.raw_lines.size(); ++i) {
+    const std::string& line = env_header.raw_lines[i];
+    if (line.find(kBeginMarker) != std::string::npos) {
+      inside = true;
+      *markers_found = true;
+      continue;
+    }
+    if (line.find(kEndMarker) != std::string::npos) {
+      inside = false;
+      continue;
+    }
+    if (!inside) continue;
+    std::smatch m;
+    if (std::regex_search(line, m, decl_re)) {
+      declared.emplace(m[1].str(), static_cast<int>(i + 1));
+    }
+  }
+  return declared;
+}
+
+}  // namespace
+
+std::vector<Violation> CheckEnvRegistry(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+
+  // Collect every knob read.
+  std::map<std::string, std::vector<KnobUse>> uses;
+  static const std::regex shell_re(R"(\$\{?(PRISTI_[A-Z0-9_]+))");
+  for (const auto& [rel, file] : ctx.files()) {
+    if (file.is_shell) {
+      for (size_t i = 0; i < file.raw_lines.size(); ++i) {
+        const std::string& line = file.raw_lines[i];
+        for (auto it = std::sregex_iterator(line.begin(), line.end(), shell_re);
+             it != std::sregex_iterator(); ++it) {
+          uses[(*it)[1].str()].push_back({rel, static_cast<int>(i + 1), false});
+        }
+      }
+      continue;
+    }
+    const std::vector<Token>& tokens = file.tokens;
+    for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      bool raw = t.text == "getenv";
+      bool wrapped = t.text == "GetEnvOr" || t.text == "GetEnvIntOr";
+      if (!raw && !wrapped) continue;
+      if (!IsPunct(tokens[i + 1], "(")) continue;
+      const Token& arg = tokens[i + 2];
+      if (arg.kind != TokenKind::kString) continue;
+      if (arg.text.rfind("PRISTI_", 0) != 0) continue;
+      uses[arg.text].push_back({rel, t.line, raw});
+    }
+  }
+
+  // No env machinery in this tree at all: nothing to enforce. (Synthetic
+  // fixture repos without an env.h stay clean as long as they read no
+  // PRISTI_* knobs.)
+  const SourceFile* env_header = ctx.Find(kRegistryRel);
+  if (env_header == nullptr) {
+    if (!uses.empty()) {
+      const auto& [name, sites] = *uses.begin();
+      violations.push_back(
+          {sites.front().file, sites.front().line, "env-registry",
+           "env knob " + name + " is read but " + kRegistryRel +
+               " (the knob registry) does not exist"});
+    }
+    return violations;
+  }
+
+  bool markers_found = false;
+  std::map<std::string, int> declared = ParseRegistry(*env_header,
+                                                      &markers_found);
+  if (!markers_found) {
+    violations.push_back(
+        {kRegistryRel, 0, "env-registry",
+         std::string("registry markers missing: document knobs between `// ") +
+             kBeginMarker + "` and `// " + kEndMarker + "`"});
+    return violations;
+  }
+
+  for (const auto& [name, sites] : uses) {
+    for (const KnobUse& use : sites) {
+      if (declared.count(name) == 0) {
+        violations.push_back(
+            {use.file, use.line, "env-registry",
+             "env knob " + name + " is not declared in the " + kRegistryRel +
+                 " registry block: document it there (name, default, "
+                 "effect) or rename the read"});
+      }
+      if (use.raw_getenv && use.file != kRegistryRel) {
+        violations.push_back(
+            {use.file, use.line, "env-registry",
+             "raw std::getenv(\"" + name +
+                 "\"): route PRISTI_* reads through GetEnvOr/GetEnvIntOr "
+                 "(common/env.h) so defaults and parsing stay uniform"});
+      }
+    }
+  }
+
+  for (const auto& [name, line] : declared) {
+    if (uses.count(name) == 0) {
+      violations.push_back(
+          {kRegistryRel, line, "env-registry",
+           "documented env knob " + name +
+               " is never read in src/, tools/, tests/ or bench/: remove "
+               "the dead documentation or wire the knob up"});
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace pristi::analysis

@@ -1,0 +1,205 @@
+// fp-contraction: compile-time extension of the PR 6 FMA-canary story.
+//
+// The kernel layer's bit-identity contract requires every `c += a*b` to
+// round the multiply and the add separately (-ffp-contract=off build-wide,
+// runtime canary in tensor_test). This pass makes the hazard visible at
+// lint time, before a build or golden diff runs:
+//   * anywhere in src/: explicit fused-multiply-add spellings (`std::fma`,
+//     `fmaf`, `_mm*_fmadd_*` / `fmsub` / `fnmadd` intrinsics) and
+//     FP_CONTRACT / fp_contract pragmas that would re-enable contraction
+//     locally;
+//   * in src/tensor/kernels/: raw multiply-accumulate statements
+//     (`x += a * b` / `x -= a * b`) outside the blessed accumulation
+//     helpers named in the [fp-blessed] section of layers.manifest. Those
+//     helpers ARE the bit-identity contract (reference chain + the two
+//     micro-kernels that reproduce it); any new accumulation loop must
+//     either call them or be consciously added to the manifest.
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+#include "analysis.h"
+#include "manifest.h"
+
+namespace pristi::analysis {
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool IsFmaSpelling(const std::string& ident) {
+  if (ident == "fma" || ident == "fmaf" || ident == "fmal") return true;
+  return ident.find("fmadd") != std::string::npos ||
+         ident.find("fmsub") != std::string::npos ||
+         ident.find("fnmadd") != std::string::npos ||
+         ident.find("fnmsub") != std::string::npos;
+}
+
+bool IsControlKeyword(const std::string& ident) {
+  return ident == "if" || ident == "for" || ident == "while" ||
+         ident == "switch" || ident == "catch" || ident == "return" ||
+         ident == "sizeof" || ident == "alignof";
+}
+
+// Tracks the innermost *named* function definition enclosing each token.
+// Heuristic on the token stream: a `{` preceded (modulo trailing
+// specifiers like const/noexcept/override/-> trailing-return tokens) by a
+// balanced `(...)` group whose head is an identifier opens that function;
+// lambdas and plain blocks open anonymous scopes that inherit the name.
+class FunctionTracker {
+ public:
+  explicit FunctionTracker(const std::vector<Token>& tokens)
+      : tokens_(tokens) {}
+
+  // Advances over token `i` (call once per index, in order).
+  void Observe(size_t i) {
+    const Token& t = tokens_[i];
+    if (t.kind != TokenKind::kPunct) return;
+    if (t.text == "{") {
+      stack_.push_back(NameForBrace(i));
+    } else if (t.text == "}") {
+      if (!stack_.empty()) stack_.pop_back();
+    }
+  }
+
+  // Innermost named enclosing function, or "" at namespace/file scope.
+  std::string Current() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (!it->empty()) return *it;
+    }
+    return std::string();
+  }
+
+ private:
+  std::string NameForBrace(size_t brace) const {
+    // Walk back over trailing specifiers to the `)` of a parameter list.
+    size_t i = brace;
+    while (i > 0) {
+      const Token& t = tokens_[i - 1];
+      if (t.kind == TokenKind::kIdentifier &&
+          (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+           t.text == "final" || t.text == "mutable")) {
+        --i;
+        continue;
+      }
+      // Trailing return type: `-> Type` tokens between `)` and `{`.
+      if (t.kind == TokenKind::kIdentifier || IsPunct(t, "->") ||
+          IsPunct(t, "::") || IsPunct(t, "<") || IsPunct(t, ">") ||
+          IsPunct(t, "*") || IsPunct(t, "&")) {
+        --i;
+        continue;
+      }
+      break;
+    }
+    if (i == 0 || !IsPunct(tokens_[i - 1], ")")) return std::string();
+    // Find the matching `(` backwards.
+    int depth = 0;
+    size_t j = i - 1;
+    while (true) {
+      const Token& t = tokens_[j];
+      if (IsPunct(t, ")")) ++depth;
+      if (IsPunct(t, "(") && --depth == 0) break;
+      if (j == 0) return std::string();
+      --j;
+    }
+    if (j == 0) return std::string();
+    const Token& head = tokens_[j - 1];
+    if (head.kind != TokenKind::kIdentifier || IsControlKeyword(head.text)) {
+      return std::string();  // lambda `](...)`, control flow, cast, ...
+    }
+    return head.text;
+  }
+
+  const std::vector<Token>& tokens_;
+  std::vector<std::string> stack_;
+};
+
+LayerManifest LoadManifest(const RepoContext& ctx) {
+  const SourceFile* file = ctx.Find(kManifestRelPath);
+  if (file != nullptr) return ParseLayerManifest(file->raw);
+  std::filesystem::path path =
+      std::filesystem::path(ctx.root()) / kManifestRelPath;
+  if (!std::filesystem::exists(path)) return LayerManifest{};
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseLayerManifest(buf.str());
+}
+
+}  // namespace
+
+std::vector<Violation> CheckFpContraction(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  static const std::regex pragma_re(
+      R"(#\s*pragma\s.*\b(FP_CONTRACT|fp_contract)\b)");
+
+  for (const SourceFile* file : ctx.FilesUnder("src/")) {
+    // FMA spellings and contraction pragmas, tree-wide.
+    for (const Token& t : file->tokens) {
+      if (t.kind == TokenKind::kIdentifier && IsFmaSpelling(t.text)) {
+        violations.push_back(
+            {file->rel, t.line, "fp-contraction",
+             "`" + t.text + "` fuses multiply and add with a single "
+             "rounding, breaking the build-wide bit-identity contract "
+             "(docs/ARCHITECTURE.md): use separate mul/add"});
+      }
+    }
+    for (size_t i = 0; i < file->stripped_lines.size(); ++i) {
+      if (std::regex_search(file->stripped_lines[i], pragma_re)) {
+        violations.push_back(
+            {file->rel, static_cast<int>(i + 1), "fp-contraction",
+             "FP_CONTRACT pragma re-enables fused multiply-add locally, "
+             "defeating the build-wide -ffp-contract=off"});
+      }
+    }
+  }
+
+  // Raw multiply-accumulate chains in the kernel layer.
+  std::vector<const SourceFile*> kernel_files =
+      ctx.FilesUnder("src/tensor/kernels/");
+  if (kernel_files.empty()) return violations;
+  LayerManifest manifest = LoadManifest(ctx);
+
+  for (const SourceFile* file : kernel_files) {
+    const std::vector<Token>& tokens = file->tokens;
+    FunctionTracker tracker(tokens);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      tracker.Observe(i);
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kPunct || (t.text != "+=" && t.text != "-="))
+        continue;
+      // Multiply on the right-hand side (up to the statement end) makes
+      // this a contractible multiply-accumulate.
+      bool has_mul = false;
+      for (size_t j = i + 1; j < tokens.size(); ++j) {
+        const Token& r = tokens[j];
+        if (r.kind == TokenKind::kPunct &&
+            (r.text == ";" || r.text == "{" || r.text == "}")) {
+          break;
+        }
+        if (r.kind == TokenKind::kPunct && r.text == "*" && j > i + 1) {
+          has_mul = true;
+          break;
+        }
+      }
+      if (!has_mul) continue;
+      std::string fn = tracker.Current();
+      if (!fn.empty() && manifest.blessed_accumulators.count(fn) > 0) continue;
+      violations.push_back(
+          {file->rel, t.line, "fp-contraction",
+           "raw multiply-accumulate `" + t.text + " ... * ...`" +
+               (fn.empty() ? std::string() : " in " + fn + "()") +
+               " outside the blessed accumulation helpers ([fp-blessed] in " +
+               kManifestRelPath +
+               "): route through the blessed chain or add the helper to "
+               "the manifest deliberately"});
+    }
+  }
+  return violations;
+}
+
+}  // namespace pristi::analysis

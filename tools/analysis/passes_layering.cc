@@ -1,0 +1,131 @@
+// layering: enforces the module DAG declared in tools/analysis/layers.manifest
+// over the real include graph of src/.
+//
+// The manifest is the single source of truth for which module may depend on
+// which; this pass reports
+//   * a missing or malformed manifest (the rule must not silently disable),
+//   * cycles in the declared relation itself,
+//   * modules present under src/ but undeclared, and declared but absent,
+//   * forbidden include edges (file:line of the offending #include), and
+//   * include cycles among src/ files (legal C++ with guards, but always a
+//     layering smell — a cycle cannot be assigned to any DAG).
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis.h"
+#include "include_graph.h"
+#include "manifest.h"
+
+namespace pristi::analysis {
+
+namespace {
+
+std::string JoinCycle(const std::vector<std::string>& cycle) {
+  std::ostringstream out;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << cycle[i];
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<Violation> CheckLayering(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  if (ctx.FilesUnder("src/").empty()) return violations;
+
+  const SourceFile* manifest_file = ctx.Find(kManifestRelPath);
+  std::string manifest_text;
+  if (manifest_file != nullptr) {
+    manifest_text = manifest_file->raw;
+  } else {
+    // The manifest is not a .cc/.h/.sh file, so it is not in the context;
+    // read it directly.
+    std::filesystem::path path =
+        std::filesystem::path(ctx.root()) / kManifestRelPath;
+    if (std::filesystem::exists(path)) {
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      manifest_text = buf.str();
+    } else {
+      violations.push_back(
+          {kManifestRelPath, 0, "layering",
+           "layering manifest is missing: declare the module DAG "
+           "([layers] section) so include edges can be checked"});
+      return violations;
+    }
+  }
+
+  LayerManifest manifest = ParseLayerManifest(manifest_text);
+  for (const std::string& error : manifest.parse_errors) {
+    violations.push_back({kManifestRelPath, 0, "layering",
+                          "manifest parse error: " + error});
+  }
+
+  std::vector<std::string> cyclic = ManifestCycleMembers(manifest);
+  if (!cyclic.empty()) {
+    std::string members;
+    for (const std::string& m : cyclic) {
+      if (!members.empty()) members += ", ";
+      members += m;
+    }
+    violations.push_back(
+        {kManifestRelPath, 0, "layering",
+         "declared layer relation is not a DAG; cycle members: " + members});
+  }
+
+  // Modules actually present under src/ (directories directly below src/
+  // that contain at least one analyzed file).
+  std::set<std::string> present;
+  for (const SourceFile* file : ctx.FilesUnder("src/")) {
+    std::string module = ModuleOf(file->rel);
+    if (!module.empty()) present.insert(module);
+  }
+  for (const std::string& module : present) {
+    if (manifest.layers.count(module) == 0) {
+      violations.push_back(
+          {kManifestRelPath, 0, "layering",
+           "module `" + module +
+               "` exists under src/ but is not declared in [layers]"});
+    }
+  }
+  for (const auto& [module, deps] : manifest.layers) {
+    (void)deps;
+    if (present.count(module) == 0) {
+      violations.push_back({kManifestRelPath, 0, "layering",
+                            "module `" + module +
+                                "` is declared in [layers] but has no files "
+                                "under src/"});
+    }
+  }
+
+  // Forbidden edges over the real include graph.
+  IncludeGraph graph = BuildIncludeGraph(ctx);
+  for (const IncludeEdge& edge : graph.edges()) {
+    std::string from = ModuleOf(edge.from);
+    std::string to = ModuleOf(edge.to);
+    if (from.empty() || to.empty() || from == to) continue;
+    auto it = manifest.layers.find(from);
+    if (it == manifest.layers.end()) continue;  // undeclared: reported above
+    if (it->second.count(to) > 0) continue;
+    violations.push_back(
+        {edge.from, edge.line, "layering",
+         "forbidden include edge: module `" + from + "` may not depend on `" +
+             to + "` (" + edge.to + "); allowed deps are listed in " +
+             kManifestRelPath});
+  }
+
+  // Include cycles among src/ files.
+  for (const std::vector<std::string>& cycle : graph.FindCycles("src/")) {
+    violations.push_back({cycle.front(), 0, "layering",
+                          "include cycle: " + JoinCycle(cycle)});
+  }
+
+  return violations;
+}
+
+}  // namespace pristi::analysis

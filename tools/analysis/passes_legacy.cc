@@ -1,0 +1,284 @@
+// The seven original pristi_lint rules, ported onto the shared analysis
+// substrate: every pass reads pre-stripped text / pre-built token streams
+// from the RepoContext instead of re-reading and re-stripping files, and
+// suppression is handled centrally by AnalyzeRepo.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+#include "analysis.h"
+
+namespace pristi::analysis {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+}  // namespace
+
+std::vector<Violation> CheckHeaderGuards(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  static const std::regex ifndef_re(R"(#ifndef\s+(\w+))");
+  for (const SourceFile* file : ctx.FilesUnder("src/")) {
+    if (file->rel.size() < 2 ||
+        file->rel.compare(file->rel.size() - 2, 2, ".h") != 0) {
+      continue;
+    }
+    std::string expected = CanonicalHeaderGuard(file->rel.substr(4));
+    std::smatch m;
+    if (!std::regex_search(file->stripped, m, ifndef_re)) {
+      violations.push_back({file->rel, 1, "header-guard",
+                            "missing #ifndef include guard (expected " +
+                                expected + ")"});
+      continue;
+    }
+    std::string actual = m[1].str();
+    if (actual != expected) {
+      violations.push_back({file->rel, 1, "header-guard",
+                            "include guard " + actual +
+                                " does not match canonical " + expected});
+      continue;
+    }
+    if (file->stripped.find("#define " + expected) == std::string::npos) {
+      violations.push_back({file->rel, 1, "header-guard",
+                            "guard " + expected +
+                                " is tested but never #define'd"});
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckBannedPatterns(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  for (const SourceFile* file : ctx.FilesUnder("src/")) {
+    const std::vector<Token>& tokens = file->tokens;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "rand" && i + 1 < tokens.size() &&
+          IsPunct(tokens[i + 1], "(")) {
+        violations.push_back(
+            {file->rel, t.line, "banned-pattern",
+             "banned call `rand()`: use pristi::Rng for reproducible "
+             "streams"});
+      } else if (t.text == "std" && i + 2 < tokens.size() &&
+                 IsPunct(tokens[i + 1], "::") && IsIdent(tokens[i + 2], "cout")) {
+        violations.push_back(
+            {file->rel, t.line, "banned-pattern",
+             "banned `std::cout` in src/: return values or use PRISTI_LOG_*"});
+      } else if (t.text == "new" &&
+                 (i == 0 || !IsPunct(tokens[i - 1], "::"))) {
+        violations.push_back({file->rel, t.line, "banned-pattern",
+                              "banned naked `new` in src/: use "
+                              "std::make_shared, std::make_unique, or "
+                              "containers"});
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckCmakeSourceLists(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  std::vector<fs::path> dirs;
+  // tests/, tools/ and bench/ are audited alongside src/: a test file that
+  // drops out of tests/CMakeLists.txt stops running without anything
+  // failing, which is the worst kind of coverage loss.
+  for (const char* root_dir : {"src", "tests", "tools", "bench"}) {
+    fs::path root = fs::path(ctx.root()) / root_dir;
+    if (!fs::exists(root)) continue;
+    dirs.push_back(root);
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_directory()) dirs.push_back(entry.path());
+    }
+  }
+  std::sort(dirs.begin(), dirs.end());
+  for (const fs::path& dir : dirs) {
+    fs::path cmake = dir / "CMakeLists.txt";
+    if (!fs::exists(cmake)) continue;
+    std::string cmake_text = ReadFile(cmake);
+    std::vector<fs::path> sources;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".cc") {
+        sources.push_back(entry.path());
+      }
+    }
+    std::sort(sources.begin(), sources.end());
+    for (const fs::path& source : sources) {
+      std::string name = source.filename().string();
+      // Accept either the file name or its stem as a whole token: the test
+      // and bench CMake helpers register targets by stem
+      // (`pristi_add_test(foo_test ...)`) rather than by foo_test.cc.
+      std::regex stem_re(R"(\b)" + source.stem().string() + R"(\b)");
+      if (cmake_text.find(name) == std::string::npos &&
+          !std::regex_search(cmake_text, stem_re)) {
+        violations.push_back(
+            {fs::relative(cmake, ctx.root()).generic_string(), 0,
+             "cmake-sources",
+             "sibling source " + name +
+                 " is not listed; it silently drops out of the build"});
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckGradCoverage(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  const SourceFile* ops = ctx.Find("src/autograd/ops.h");
+  if (ops == nullptr) return violations;
+  const SourceFile* test = ctx.Find("tests/autograd_test.cc");
+  if (test == nullptr) {
+    violations.push_back({"tests/autograd_test.cc", 0, "grad-coverage",
+                          "gradient test file is missing"});
+    return violations;
+  }
+  for (const std::string& op : DifferentiableOps(ops->stripped)) {
+    std::regex use(R"(\b)" + op + R"(\s*\()");
+    if (!std::regex_search(test->stripped, use)) {
+      violations.push_back(
+          {"src/autograd/ops.h", 0, "grad-coverage",
+           "differentiable op " + op +
+               " has no gradient case in tests/autograd_test.cc"});
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckSerializeVersionGuard(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  const std::string rel = "src/serialize/format.h";
+  const SourceFile* header = ctx.Find(rel);
+  if (header == nullptr) return violations;
+  // Raw text, not stripped: the markers and the fingerprint live in
+  // comments by design.
+  const std::string& text = header->raw;
+  // The markers must stand alone on their own comment lines; prose that
+  // merely mentions them (like the format doc at the top of the header)
+  // does not match.
+  const std::string begin_marker = "\n// serialize-layout-begin\n";
+  const std::string end_marker = "\n// serialize-layout-end\n";
+  size_t begin = text.find(begin_marker);
+  size_t end = text.find(end_marker);
+  if (begin == std::string::npos || end == std::string::npos || end <= begin) {
+    violations.push_back({rel, 0, "serialize-version-guard",
+                          "serialize-layout-begin/-end markers are missing "
+                          "or out of order"});
+    return violations;
+  }
+  // Fingerprint the lines strictly between the marker lines.
+  size_t region_start = begin + begin_marker.size();
+  std::string region = text.substr(region_start, end + 1 - region_start);
+  uint32_t actual = LayoutFingerprint(region);
+  char expected_comment[64];
+  std::snprintf(expected_comment, sizeof(expected_comment),
+                "serialize-layout-fingerprint: 0x%08X", actual);
+  static const std::regex fp_re(
+      R"(serialize-layout-fingerprint:\s*0x([0-9a-fA-F]{8}))");
+  std::smatch m;
+  if (!std::regex_search(text, m, fp_re)) {
+    violations.push_back({rel, 0, "serialize-version-guard",
+                          "missing fingerprint comment; add `// " +
+                              std::string(expected_comment) + "`"});
+    return violations;
+  }
+  uint32_t stored =
+      static_cast<uint32_t>(std::stoul(m[1].str(), nullptr, 16));
+  if (stored != actual) {
+    violations.push_back(
+        {rel, 0, "serialize-version-guard",
+         "checkpoint layout changed without a version bump: bump "
+         "kFormatVersion, then update the comment to `// " +
+             std::string(expected_comment) + "`"});
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckNoMaterializedTranspose(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  static const std::regex matmul_re(R"(^(Batched)?MatMul\w*$)");
+  for (const SourceFile* file : ctx.FilesUnder("src/")) {
+    const std::vector<Token>& tokens = file->tokens;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier ||
+          !std::regex_match(tokens[i].text, matmul_re) ||
+          !IsPunct(tokens[i + 1], "(")) {
+        continue;
+      }
+      size_t close = MatchingClose(tokens, i + 1);
+      // Unbalanced only when the file is cut mid-expression; nothing to do.
+      if (close >= tokens.size()) continue;
+      for (size_t j = i + 2; j < close; ++j) {
+        if (tokens[j].kind == TokenKind::kIdentifier &&
+            (tokens[j].text == "TransposeLast2" ||
+             tokens[j].text == "Permute") &&
+            j + 1 < close && IsPunct(tokens[j + 1], "(")) {
+          violations.push_back(
+              {file->rel, tokens[i].line, "no-materialized-transpose",
+               tokens[j].text + " result feeds " + tokens[i].text +
+                   " directly, materializing a transposed copy: use the "
+                   "NT/TN kernel entry points (MatMulNT, BatchedMatMulTN, "
+                   "MatMulLastDimT, ...) which read the operand transposed "
+                   "in place"});
+          break;  // one report per call site
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckTensorByValueParams(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  // `(` or `,` followed by a (possibly alias-qualified) Tensor or Variable
+  // parameter declared by value: `Foo(Tensor x)`, `..., Variable v)`,
+  // including declarations wrapped onto a continuation line (\s spans
+  // newlines). The lookahead pins the token after the parameter name to
+  // `,`, `)` or a default argument, which excludes range-for bindings
+  // (`:`); pointer/reference declarators never match because `*`/`&` break
+  // the `\s+\w` sequence, and template arguments like std::vector<Tensor>
+  // are not preceded by `(` or `,`.
+  static const std::regex by_value_re(
+      R"re([(,]\s*(?:pristi\s*::\s*)?(?:tensor\s*::\s*|autograd\s*::\s*|t\s*::\s*|ag\s*::\s*)?(Tensor|Variable)\s+\w+\s*(?=[,)=]))re");
+  for (const SourceFile* file : ctx.FilesUnder("src/")) {
+    const std::string& stripped = file->stripped;
+    for (auto it =
+             std::sregex_iterator(stripped.begin(), stripped.end(), by_value_re);
+         it != std::sregex_iterator(); ++it) {
+      // Report the line of the type name (group 1), not of the opening
+      // punctuation, so wrapped parameter lists point at the parameter.
+      size_t pos = static_cast<size_t>(it->position(1));
+      int line = 1 + static_cast<int>(std::count(
+                         stripped.begin(),
+                         stripped.begin() + static_cast<std::ptrdiff_t>(pos),
+                         '\n'));
+      std::string type = (*it)[1].str();
+      violations.push_back(
+          {file->rel, line, "tensor-by-value",
+           "pass-by-value " + type + " parameter: take `const " + type +
+               "&` (tensor headers share storage) or require an explicit "
+               "Tensor::Clone() at the call site"});
+    }
+  }
+  return violations;
+}
+
+}  // namespace pristi::analysis

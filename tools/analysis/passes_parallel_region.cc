@@ -1,0 +1,108 @@
+// parallel-region: hygiene inside ParallelFor lambda bodies in src/.
+//
+// The persistent pool's lambdas are the hottest code in the tree and are
+// executed concurrently by design, so this pass flags constructs that are
+// either serializing or allocating inside the lambda body tokens:
+//   * mutex acquisition (std::mutex/lock_guard/unique_lock/scoped_lock,
+//     `.lock()` / `.try_lock()` member calls) — a lock inside the region
+//     serializes the whole pool;
+//   * I/O (printf family, fopen, C++ streams, PRISTI_LOG_* except FATAL)
+//     — interleaved output and syscalls in the hot loop;
+//   * `Tensor` construction — per-PR-4 design, pool/storage requests
+//     belong outside the hot lambda (construct outputs before ParallelFor,
+//     write through raw pointers inside).
+// The scan covers the textual lambda bodies inside the ParallelFor call's
+// argument list (not code it calls; deeper effects belong to the callee's
+// own review). Suppress a deliberate exception with
+// `// pristi-lint: allow-parallel-region`.
+
+#include <set>
+
+#include "analysis.h"
+
+namespace pristi::analysis {
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+const std::set<std::string>& MutexIdents() {
+  static const std::set<std::string> idents{
+      "mutex", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "condition_variable"};
+  return idents;
+}
+
+const std::set<std::string>& IoIdents() {
+  static const std::set<std::string> idents{
+      "printf", "fprintf", "sprintf", "snprintf", "fopen",  "fwrite",
+      "fread",  "fputs",   "fgets",   "ofstream", "ifstream", "fstream",
+      "cout",   "cerr",    "clog",    "PRISTI_LOG_INFO", "PRISTI_LOG_WARNING",
+      "PRISTI_LOG_ERROR"};
+  return idents;
+}
+
+}  // namespace
+
+std::vector<Violation> CheckParallelRegion(const RepoContext& ctx) {
+  std::vector<Violation> violations;
+  for (const SourceFile* file : ctx.FilesUnder("src/")) {
+    const std::vector<Token>& tokens = file->tokens;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier ||
+          tokens[i].text != "ParallelFor" || !IsPunct(tokens[i + 1], "(")) {
+        continue;
+      }
+      const size_t close = MatchingClose(tokens, i + 1);
+      if (close >= tokens.size()) continue;
+      // Every braced region inside the call's argument list is a lambda
+      // body (or a brace-init inside one — also part of the region).
+      for (size_t j = i + 2; j < close; ++j) {
+        if (!IsPunct(tokens[j], "{")) continue;
+        const size_t body_close = MatchingClose(tokens, j);
+        if (body_close >= tokens.size()) break;
+        for (size_t k = j + 1; k < body_close; ++k) {
+          const Token& t = tokens[k];
+          if (t.kind != TokenKind::kIdentifier) continue;
+          const bool member_call =
+              k > 0 &&
+              (IsPunct(tokens[k - 1], ".") || IsPunct(tokens[k - 1], "->"));
+          if (MutexIdents().count(t.text) > 0 ||
+              (member_call && (t.text == "lock" || t.text == "try_lock"))) {
+            violations.push_back(
+                {file->rel, t.line, "parallel-region",
+                 "`" + t.text + "` inside a ParallelFor lambda: a lock in "
+                 "the parallel region serializes the pool — acquire "
+                 "outside, or restructure so workers own disjoint data"});
+          } else if (IoIdents().count(t.text) > 0) {
+            violations.push_back(
+                {file->rel, t.line, "parallel-region",
+                 "I/O (`" + t.text + "`) inside a ParallelFor lambda: "
+                 "syscalls in the hot region stall every worker — collect "
+                 "results and emit after the loop"});
+          } else if (t.text == "Tensor" && k + 1 < body_close &&
+                     (tokens[k + 1].kind == TokenKind::kIdentifier ||
+                      IsPunct(tokens[k + 1], "(") ||
+                      IsPunct(tokens[k + 1], "{"))) {
+            // `Tensor out(...)` / `Tensor(...)` temporaries allocate from
+            // the storage pool; `const Tensor&`/`Tensor*` bindings do not
+            // and stay legal (next token is `&`, `*`, `>`...).
+            violations.push_back(
+                {file->rel, t.line, "parallel-region",
+                 "Tensor construction inside a ParallelFor lambda "
+                 "allocates per-iteration: hoist the allocation out of the "
+                 "hot region and write through raw pointers (PR 4 memory "
+                 "model)"});
+          }
+        }
+        j = body_close;
+      }
+      i = close;
+    }
+  }
+  return violations;
+}
+
+}  // namespace pristi::analysis

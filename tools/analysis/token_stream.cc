@@ -1,0 +1,197 @@
+#include "token_stream.h"
+
+#include <cctype>
+#include <regex>
+
+namespace pristi::analysis {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character operators, longest first within each leading character so
+// a greedy prefix match is a longest match.
+const char* const kPunct3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+const char* const kPunct2[] = {"++", "--", "+=", "-=", "*=", "/=", "%=",
+                               "&=", "|=", "^=", "==", "!=", "<=", ">=",
+                               "&&", "||", "<<", ">>", "->", "::", "##"};
+
+// Records every `pristi-lint: allow-<rule>` inside a comment. `comment` is
+// the raw comment text (may span lines for block comments); `first_line` is
+// the line its first character sits on.
+void CollectSuppressions(const std::string& comment, int first_line,
+                         std::map<int, std::set<std::string>>* out) {
+  static const std::regex allow_re(R"(pristi-lint:\s*allow-([A-Za-z0-9-]+))");
+  int line = first_line;
+  size_t start = 0;
+  while (start <= comment.size()) {
+    size_t eol = comment.find('\n', start);
+    std::string text = comment.substr(
+        start, eol == std::string::npos ? std::string::npos : eol - start);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), allow_re);
+         it != std::sregex_iterator(); ++it) {
+      (*out)[line].insert((*it)[1].str());
+    }
+    if (eol == std::string::npos) break;
+    start = eol + 1;
+    ++line;
+  }
+}
+
+}  // namespace
+
+TokenizedSource Tokenize(const std::string& source) {
+  TokenizedSource result;
+  result.stripped.assign(source.size(), ' ');
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto keep = [&](size_t pos) { result.stripped[pos] = source[pos]; };
+
+  while (i < n) {
+    char c = source[i];
+    char next = i + 1 < n ? source[i + 1] : '\0';
+
+    if (c == '\n') {
+      result.stripped[i] = '\n';
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      keep(i);
+      ++i;
+      continue;
+    }
+
+    // Comments: blanked in stripped text, scanned for suppressions.
+    if (c == '/' && next == '/') {
+      size_t start = i;
+      while (i < n && source[i] != '\n') ++i;
+      CollectSuppressions(source.substr(start, i - start), line,
+                          &result.suppressions);
+      continue;  // newline handled by the main loop
+    }
+    if (c == '/' && next == '*') {
+      size_t start = i;
+      int start_line = line;
+      i += 2;
+      while (i < n && !(source[i] == '*' && i + 1 < n && source[i + 1] == '/')) {
+        if (source[i] == '\n') {
+          result.stripped[i] = '\n';
+          ++line;
+        }
+        ++i;
+      }
+      if (i < n) i += 2;  // consume "*/"
+      CollectSuppressions(source.substr(start, i - start), start_line,
+                          &result.suppressions);
+      continue;
+    }
+
+    // String / char literals: one token, blanked in stripped text.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t start = i + 1;
+      ++i;
+      std::string text;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          if (source[i + 1] == '\n') ++line;
+          text += source[i];
+          text += source[i + 1];
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') {
+          // Unterminated literal; keep line numbers honest and bail out of
+          // the literal so the rest of the file still tokenizes.
+          result.stripped[i] = '\n';
+          ++line;
+          break;
+        }
+        text += source[i];
+        ++i;
+      }
+      if (i < n && source[i] == quote) ++i;
+      (void)start;
+      result.tokens.push_back(
+          {quote == '"' ? TokenKind::kString : TokenKind::kCharLiteral, text,
+           line});
+      continue;
+    }
+
+    // Numbers — consumed before punctuation so `1'000'000` digit separators
+    // and `1.5e-3` exponents never open a bogus char literal / operator.
+    if (IsDigit(c) || (c == '.' && IsDigit(next))) {
+      size_t start = i;
+      ++i;
+      while (i < n) {
+        char d = source[i];
+        char dn = i + 1 < n ? source[i + 1] : '\0';
+        if (IsIdentChar(d) || d == '.') {
+          ++i;
+        } else if (d == '\'' && IsIdentChar(dn)) {
+          i += 2;  // digit separator
+        } else if ((d == '+' || d == '-') &&
+                   (source[i - 1] == 'e' || source[i - 1] == 'E' ||
+                    source[i - 1] == 'p' || source[i - 1] == 'P')) {
+          ++i;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      for (size_t p = start; p < i; ++p) keep(p);
+      result.tokens.push_back(
+          {TokenKind::kNumber, source.substr(start, i - start), line});
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      for (size_t p = start; p < i; ++p) keep(p);
+      result.tokens.push_back(
+          {TokenKind::kIdentifier, source.substr(start, i - start), line});
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    size_t len = 1;
+    if (i + 2 < n) {
+      std::string three = source.substr(i, 3);
+      for (const char* p : kPunct3) {
+        if (three == p) {
+          len = 3;
+          break;
+        }
+      }
+    }
+    if (len == 1 && i + 1 < n) {
+      std::string two = source.substr(i, 2);
+      for (const char* p : kPunct2) {
+        if (two == p) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    for (size_t p = i; p < i + len; ++p) keep(p);
+    result.tokens.push_back({TokenKind::kPunct, source.substr(i, len), line});
+    i += len;
+  }
+  return result;
+}
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  return Tokenize(source).stripped;
+}
+
+}  // namespace pristi::analysis

@@ -1,0 +1,66 @@
+#ifndef PRISTI_TOOLS_ANALYSIS_TOKEN_STREAM_H_
+#define PRISTI_TOOLS_ANALYSIS_TOKEN_STREAM_H_
+
+// C++ tokenizer for the pristi_analyze static-analysis engine.
+//
+// One pass over a source file produces everything every analysis pass
+// needs, so each file is read, stripped, and tokenized exactly once:
+//
+//   * a token stream (identifiers, numbers, string/char literals,
+//     punctuation) with 1-based line numbers, so passes can match real
+//     syntax ("identifier `getenv` followed by `(` and a string literal")
+//     instead of fighting regex false positives;
+//   * the comment/string-stripped source text (lines preserved) that the
+//     line-oriented legacy rules and the include scanner consume;
+//   * the per-line suppression table: every `pristi-lint: allow-<rule>`
+//     found in a comment, attributed to the line it appears on. A
+//     suppression silences its rule on its own line and on the following
+//     line (so long violating lines can carry the comment just above).
+//
+// The tokenizer is deliberately approximate where precision does not pay:
+// preprocessor directives are tokenized like ordinary code (passes that
+// care about `#pragma`/`#include` lines use the stripped line text), and
+// raw string literals are not specially handled (the repo bans them by
+// convention; a raw string would tokenize as a plain string up to its
+// first quote).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pristi::analysis {
+
+enum class TokenKind {
+  kIdentifier,  // [A-Za-z_]\w* — keywords are identifiers too
+  kNumber,      // numeric literal, including hex/float/digit separators
+  kString,      // "..." — text holds the uninterpreted contents
+  kCharLiteral, // '...' — text holds the uninterpreted contents
+  kPunct,       // operator or punctuation, longest-match (e.g. "+=", "::")
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+struct TokenizedSource {
+  std::vector<Token> tokens;
+  // Source with comments, string literals, and char literals replaced by
+  // spaces; newlines preserved so line numbers stay meaningful.
+  std::string stripped;
+  // line -> rule ids suppressed by a `pristi-lint: allow-<rule>` comment
+  // on that line.
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+TokenizedSource Tokenize(const std::string& source);
+
+// Convenience for callers that only need the stripped text (the legacy
+// rule entry point; equivalent to Tokenize(source).stripped).
+std::string StripCommentsAndStrings(const std::string& source);
+
+}  // namespace pristi::analysis
+
+#endif  // PRISTI_TOOLS_ANALYSIS_TOKEN_STREAM_H_

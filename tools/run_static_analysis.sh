@@ -1,19 +1,36 @@
 #!/usr/bin/env bash
-# Sanitizer build matrix + repo lint driver.
+# Static-analysis + sanitizer matrix driver.
 #
-# For each sanitizer preset (default: "address+undefined thread", override
-# with PRISTI_SANITIZE_CONFIGS), configures a dedicated build tree with
-# -DPRISTI_SANITIZE=<preset> and runs the full ctest suite under the
-# instrumented binaries. RelWithDebInfo keeps optimized codegen (so data
-# races in the batch-parallel kernels still manifest) while retaining debug
-# info for readable sanitizer reports; PRISTI_DEBUG_CHECKS=ON keeps
-# PRISTI_DCHECK live despite NDEBUG. PRISTI_THREADS=4 forces ParallelFor to
-# actually spawn workers so TSan exercises the fork-join paths even on
-# low-core CI machines.
+# Legs, in order (each independently gating):
+#   1. analyze     — build the pristi_analyze engine and run every pass
+#                    over the checkout (seconds; also `--analyze-only`).
+#   2. werror      — a -Werror leg: the tree already builds with
+#                    -Wall -Wextra, this leg promotes them so new warnings
+#                    gate instead of scrolling by.
+#   3. sanitizers  — for each preset (default "address+undefined thread",
+#                    override with PRISTI_SANITIZE_CONFIGS), a dedicated
+#                    build tree with -DPRISTI_SANITIZE=<preset> running the
+#                    full ctest suite under instrumented binaries.
+#                    RelWithDebInfo keeps optimized codegen (so data races
+#                    in the batch-parallel kernels still manifest) while
+#                    retaining debug info; PRISTI_DEBUG_CHECKS=ON keeps
+#                    PRISTI_DCHECK live despite NDEBUG; PRISTI_THREADS=4
+#                    forces ParallelFor to actually spawn workers.
+#   4. native-biteq — bit-identity suites on the host's native arch (the
+#                    sanitizer legs build with PRISTI_NATIVE_ARCH=OFF,
+#                    where baseline x86-64 has no FMA and can never
+#                    contract mul/add chains — exactly the configuration
+#                    that masks a missing -ffp-contract=off). Skip with
+#                    PRISTI_NATIVE_BITEQ=0.
+#
+# Usage: run_static_analysis.sh [--analyze-only]
+#   --analyze-only  run only leg 1: configure/build the analyzer and run
+#                   `ctest -L analysis` (pristi_analyze + pristi_lint +
+#                   lint_test). The fast pre-commit gate.
 #
 # Exits nonzero if any configure, build, or test step fails (including a
 # sanitizer report, since -fno-sanitize-recover=all makes reports fatal,
-# and including the pristi_lint ctest).
+# and including any pristi_analyze violation).
 
 set -u
 
@@ -21,7 +38,54 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 configs="${PRISTI_SANITIZE_CONFIGS:-address+undefined thread}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 status=0
+analyze_only=0
 
+for arg in "$@"; do
+  case "$arg" in
+    --analyze-only) analyze_only=1 ;;
+    *)
+      echo "usage: $0 [--analyze-only]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# ---- leg 1: pristi_analyze -------------------------------------------------
+build_dir="$repo_root/build-analyze"
+echo "==== [analyze] configure -> $build_dir ===="
+if cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+    && cmake --build "$build_dir" -j "$jobs" \
+        --target pristi_analyze pristi_lint lint_test \
+    && (cd "$build_dir" && ctest --output-on-failure -j "$jobs" -L analysis); then
+  echo "==== [analyze] OK ===="
+else
+  echo "==== [analyze] FAILED ===="
+  status=1
+fi
+
+if [ "$analyze_only" -eq 1 ]; then
+  if [ "$status" -ne 0 ]; then
+    echo "run_static_analysis: analyzer violations (see log above)"
+  else
+    echo "run_static_analysis: analyzer clean"
+  fi
+  exit "$status"
+fi
+
+# ---- leg 2: warnings-as-errors ---------------------------------------------
+build_dir="$repo_root/build-werror"
+echo "==== [werror] configure -> $build_dir ===="
+if cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS=-Werror \
+    && cmake --build "$build_dir" -j "$jobs"; then
+  echo "==== [werror] OK ===="
+else
+  echo "==== [werror] FAILED ===="
+  status=1
+fi
+
+# ---- leg 3: sanitizer matrix -----------------------------------------------
 for mode in $configs; do
   build_dir="$repo_root/build-san-${mode//+/-}"
   echo "==== [$mode] configure -> $build_dir ===="
@@ -54,13 +118,7 @@ for mode in $configs; do
   echo "==== [$mode] OK ===="
 done
 
-# Native-arch bit-identity leg (skip with PRISTI_NATIVE_BITEQ=0). The
-# sanitizer matrix above builds with PRISTI_NATIVE_ARCH=OFF, where baseline
-# x86-64 has no FMA instruction and so can never contract mul/add chains —
-# which is exactly the configuration that masks a missing -ffp-contract=off.
-# Build once with the default native flags on the actual host and run the
-# exact-equality / golden suites (benches excluded) so a contraction
-# regression surfaces on FMA-capable hardware.
+# ---- leg 4: native-arch bit-identity ---------------------------------------
 if [ "${PRISTI_NATIVE_BITEQ:-1}" != "0" ]; then
   build_dir="$repo_root/build-native-biteq"
   echo "==== [native-biteq] configure -> $build_dir ===="
@@ -81,6 +139,6 @@ fi
 if [ "$status" -ne 0 ]; then
   echo "run_static_analysis: FAILURES detected (see logs above)"
 else
-  echo "run_static_analysis: all sanitizer configs clean"
+  echo "run_static_analysis: all legs clean"
 fi
 exit "$status"
