@@ -1,0 +1,137 @@
+#ifndef PRISTI_COMMON_BOUNDED_QUEUE_H_
+#define PRISTI_COMMON_BOUNDED_QUEUE_H_
+
+// Bounded multi-producer admission queue with deadline-based batch
+// draining — the request-coalescing primitive behind the serving layer.
+//
+// Producers never block: TryPush either admits the item or returns a typed
+// Status immediately (kQueueFull when at capacity — retryable, the caller
+// should back off and resubmit; kCancelled once the queue is closed).
+// A single consumer drains with PopBatch under the batching policy
+// "flush on max-batch-size or max-wait deadline, whichever first", where
+// the deadline is keyed to the enqueue time of the OLDEST waiting item:
+// a batch never holds request r longer than max_wait, no matter how many
+// requests trickle in behind it.
+//
+// All waiting goes through an injected Clock, so tests drive the deadline
+// branch deterministically with a FakeClock (see common/clock.h).
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace pristi {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  // `clock` must outlive the queue; nullptr selects RealClock().
+  BoundedQueue(int64_t capacity, Clock* clock)
+      : capacity_(capacity), clock_(clock != nullptr ? clock : RealClock()) {
+    PRISTI_CHECK_GE(capacity_, 1);
+  }
+
+  // Admits `*item` or rejects without blocking. `*item` is moved from only
+  // on success; a rejected item stays intact in the caller's hands (so a
+  // caller can still resolve the promise / retry it carries).
+  Status TryPush(T* item) {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (closed_) {
+      return Status::Error(ErrorCode::kCancelled,
+                           "queue is closed (shutting down)");
+    }
+    if (static_cast<int64_t>(items_.size()) >= capacity_) {
+      return Status::Error(
+          ErrorCode::kQueueFull,
+          "admission queue is at capacity (" + std::to_string(capacity_) +
+              "); retry after backoff");
+    }
+    items_.push_back(Entry{std::move(*item), clock_->NowNanos()});
+    cv_.notify_all();
+    return Status::Ok();
+  }
+
+  // Blocks until at least one item is queued (or the queue is closed),
+  // then returns up to `max_batch` items as soon as either max_batch are
+  // available or the oldest queued item has waited `max_wait_nanos` since
+  // its enqueue. Returns an empty vector only when the queue is closed and
+  // fully drained — the consumer's termination signal. Single consumer.
+  std::vector<T> PopBatch(int64_t max_batch, int64_t max_wait_nanos) {
+    PRISTI_CHECK_GE(max_batch, 1);
+    PRISTI_CHECK_GE(max_wait_nanos, 0);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (items_.empty() && !closed_) cv_.wait(lock);
+    if (items_.empty()) return {};
+    int64_t deadline = items_.front().enqueue_nanos + max_wait_nanos;
+    while (static_cast<int64_t>(items_.size()) < max_batch && !closed_) {
+      if (clock_->WaitUntil(cv_, lock, deadline)) break;
+    }
+    std::vector<T> batch;
+    int64_t take = std::min<int64_t>(max_batch,
+                                     static_cast<int64_t>(items_.size()));
+    batch.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(items_.front().item));
+      items_.pop_front();
+    }
+    return batch;
+  }
+
+  // Stops admission. Queued items remain for PopBatch to drain; once they
+  // are gone PopBatch returns empty.
+  void Close() {
+    std::lock_guard<std::mutex> guard(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  // Close + hand every still-queued item back to the caller (to resolve
+  // with a typed cancellation) instead of letting the consumer drain them.
+  std::vector<T> CancelPending() {
+    std::lock_guard<std::mutex> guard(mu_);
+    closed_ = true;
+    std::vector<T> cancelled;
+    cancelled.reserve(items_.size());
+    for (Entry& entry : items_) cancelled.push_back(std::move(entry.item));
+    items_.clear();
+    cv_.notify_all();
+    return cancelled;
+  }
+
+  int64_t size() {
+    std::lock_guard<std::mutex> guard(mu_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+  bool closed() {
+    std::lock_guard<std::mutex> guard(mu_);
+    return closed_;
+  }
+
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    T item;
+    int64_t enqueue_nanos;
+  };
+
+  const int64_t capacity_;
+  Clock* const clock_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> items_;  // guarded by mu_
+  bool closed_ = false;      // guarded by mu_
+};
+
+}  // namespace pristi
+
+#endif  // PRISTI_COMMON_BOUNDED_QUEUE_H_

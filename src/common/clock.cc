@@ -1,0 +1,96 @@
+#include "common/clock.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace pristi {
+
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  SteadyClock() : base_(std::chrono::steady_clock::now()) {}
+
+  int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - base_)
+        .count();
+  }
+
+  bool WaitUntil(std::condition_variable& cv,
+                 std::unique_lock<std::mutex>& lock,
+                 int64_t deadline_nanos) override {
+    if (NowNanos() >= deadline_nanos) return true;
+    cv.wait_until(lock, base_ + std::chrono::nanoseconds(deadline_nanos));
+    return NowNanos() >= deadline_nanos;
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point base_;
+};
+
+}  // namespace
+
+Clock* RealClock() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+int64_t FakeClock::NowNanos() {
+  std::lock_guard<std::mutex> guard(mu_);
+  return now_;
+}
+
+bool FakeClock::WaitUntil(std::condition_variable& cv,
+                          std::unique_lock<std::mutex>& lock,
+                          int64_t deadline_nanos) {
+  PRISTI_CHECK(lock.owns_lock());
+  {
+    // Register BEFORE checking the deadline: once the waiter is visible,
+    // any Advance that crosses the deadline is obliged to wake us, and
+    // because we hold `lock` until cv.wait parks us, its notify (taken
+    // under our external mutex) cannot land in the gap.
+    std::lock_guard<std::mutex> guard(mu_);
+    if (now_ >= deadline_nanos) return true;
+    waiters_.push_back(Waiter{&cv, lock.mutex()});
+  }
+  cv.wait(lock);
+  bool expired;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (size_t i = 0; i < waiters_.size(); ++i) {
+      if (waiters_[i].cv == &cv && waiters_[i].external_mutex == lock.mutex()) {
+        waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    expired = now_ >= deadline_nanos;
+  }
+  return expired;
+}
+
+void FakeClock::AdvanceNanos(int64_t delta_nanos) {
+  PRISTI_CHECK_GE(delta_nanos, 0);
+  std::vector<Waiter> to_wake;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    now_ += delta_nanos;
+    to_wake = waiters_;
+  }
+  // mu_ is released before touching any waiter's external mutex, so the
+  // lock order here (external only) can never form a cycle with the
+  // waiter's (external -> mu_) order.
+  for (const Waiter& waiter : to_wake) {
+    { std::lock_guard<std::mutex> sync(*waiter.external_mutex); }
+    waiter.cv->notify_all();
+  }
+}
+
+int64_t FakeClock::blocked_waiters() {
+  std::lock_guard<std::mutex> guard(mu_);
+  return static_cast<int64_t>(waiters_.size());
+}
+
+}  // namespace pristi

@@ -1,0 +1,88 @@
+#ifndef PRISTI_COMMON_CLOCK_H_
+#define PRISTI_COMMON_CLOCK_H_
+
+// Injectable monotonic time for components that make *decisions* based on
+// time (the serving layer's batching deadline, timeouts). Production code
+// uses the process-wide SteadyClock; tests inject a FakeClock and advance
+// it explicitly, so every time-driven branch is reproducible without real
+// sleeps.
+//
+// The interface is deliberately condition-variable shaped rather than
+// sleep shaped: a component that waits does so on its own mutex/cv (so
+// producers can still wake it early), and only the deadline arithmetic is
+// virtualized. With a FakeClock, Advance() wakes every registered waiter
+// through the waiter's own cv, which makes "time passed" and "work
+// arrived" indistinguishable to the waiting code — exactly like real time.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pristi {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic nanoseconds. Only differences are meaningful; the epoch is
+  // unspecified (SteadyClock: process start; FakeClock: 0).
+  virtual int64_t NowNanos() = 0;
+
+  // Blocks the calling thread — which must hold `lock` — until `cv` is
+  // notified, the absolute deadline (in this clock's NowNanos() timebase)
+  // passes, or a spurious wakeup occurs. Returns true iff the deadline has
+  // passed at return. Callers must re-check their predicate in a loop,
+  // exactly as with std::condition_variable::wait_until.
+  virtual bool WaitUntil(std::condition_variable& cv,
+                         std::unique_lock<std::mutex>& lock,
+                         int64_t deadline_nanos) = 0;
+};
+
+// The process-wide monotonic clock (std::chrono::steady_clock). Returned
+// pointer is owned by the process and valid forever.
+Clock* RealClock();
+
+// Manually advanced test clock. Time only moves when AdvanceNanos() is
+// called, so a test fully scripts the timeline: start the component under
+// test, wait for it to park (blocked_waiters() > 0 — spin with
+// std::this_thread::yield(), which is progress-bounded, not time-bounded),
+// then advance past the deadline and observe the decision.
+//
+// Waiters' cv/mutex objects must outlive any concurrent AdvanceNanos()
+// call; in practice the session under test outlives the whole script.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() override;
+  bool WaitUntil(std::condition_variable& cv,
+                 std::unique_lock<std::mutex>& lock,
+                 int64_t deadline_nanos) override;
+
+  // Moves time forward and wakes every thread blocked in WaitUntil. The
+  // wake acquires each waiter's external mutex briefly before notifying,
+  // which closes the register-to-park window: a waiter that has
+  // registered but not yet parked still holds its lock, so the notify
+  // cannot be lost.
+  void AdvanceNanos(int64_t delta_nanos);
+
+  // Number of threads currently blocked inside WaitUntil. A test that
+  // observes N here knows those N threads are parked (or past the point
+  // where an Advance wake is guaranteed to reach them).
+  int64_t blocked_waiters();
+
+ private:
+  struct Waiter {
+    std::condition_variable* cv;
+    std::mutex* external_mutex;
+  };
+
+  std::mutex mu_;
+  int64_t now_;  // guarded by mu_
+  std::vector<Waiter> waiters_;  // guarded by mu_
+};
+
+}  // namespace pristi
+
+#endif  // PRISTI_COMMON_CLOCK_H_

@@ -48,6 +48,19 @@
 //          the GEMM pack cache. 0 disables the cache: every call repacks
 //          its operands into thread-local scratch.
 //
+// Serving layer (defaults resolved once by serve::ServeConfig::FromEnv in
+// src/serve/session.cc; pristi_serve and ServeBench read their batching
+// policy through it):
+//   PRISTI_SERVE_MAX_BATCH  8 — coalesce at most this many queued requests
+//          into one (R*S, N, L) reverse-diffusion call; a full batch
+//          flushes immediately.
+//   PRISTI_SERVE_MAX_WAIT_MS  5 — flush a partial batch once the OLDEST
+//          queued request has waited this long; the other half of the
+//          "size or deadline, whichever first" batching policy.
+//   PRISTI_SERVE_QUEUE_CAP  64 — bounded admission queue capacity; when
+//          full, Submit rejects with the retryable queue-full status
+//          instead of blocking the client.
+//
 // Test and CI harness:
 //   PRISTI_REGEN_GOLDEN  unset — when set, golden-file tests
 //          (serialize_test, sampler_equivalence_test) rewrite their

@@ -30,6 +30,14 @@ enum class ErrorCode {
   kShapeMismatch,      // tensor record shape differs from the destination
   kCountMismatch,      // parameter/moment count differs from the target
   kConfigMismatch,     // stored config (schedule, optimizer) disagrees
+
+  // Serving-layer codes (src/serve/). kQueueFull is the only RETRYABLE
+  // code: the request was never admitted and an identical resubmission
+  // after backoff is expected to succeed. kCancelled / kInvalidRequest are
+  // terminal for the request that received them.
+  kQueueFull,          // admission queue at capacity; back off and retry
+  kCancelled,          // request dropped by shutdown / queue close
+  kInvalidRequest,     // request malformed (e.g. window shape mismatch)
 };
 
 inline const char* ErrorCodeName(ErrorCode code) {
@@ -46,6 +54,9 @@ inline const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kShapeMismatch: return "shape-mismatch";
     case ErrorCode::kCountMismatch: return "count-mismatch";
     case ErrorCode::kConfigMismatch: return "config-mismatch";
+    case ErrorCode::kQueueFull: return "queue-full";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kInvalidRequest: return "invalid-request";
   }
   return "unknown";
 }
@@ -62,6 +73,9 @@ class Status {
   }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
+  // True when the failed operation was never started and may simply be
+  // retried (today: only a queue-full admission rejection).
+  bool retryable() const { return code_ == ErrorCode::kQueueFull; }
   ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "autograd/ops.h"
 #include "common/check.h"
@@ -138,6 +140,7 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
                                         const TrainOptions& options,
                                         Rng& rng) {
   PRISTI_CHECK(model != nullptr);
+  ModelAccessGuard access_guard(model, "TrainDiffusionModel");
   std::vector<data::Sample> samples = data::ExtractSamples(task, "train");
   PRISTI_CHECK(!samples.empty()) << "no training windows";
 
@@ -351,15 +354,19 @@ std::vector<ReverseStep> PlanReverseSteps(const NoiseSchedule& schedule,
 // Fills `out` (B, N, L) with one N(0,1) draw per entry, chain-major: chain
 // b consumes exactly N*L draws from its own stream, in row-major order, so
 // the draw sequence per chain is independent of how many chains share the
-// tensor. Entries outside the target mask are zeroed after drawing (the
+// tensor. `target_masks` is stacked per chain — (B, N, L) like `out` — so
+// chains belonging to different coalesced requests each project onto their
+// own mask. Entries outside a chain's mask are zeroed after drawing (the
 // draw still happens, keeping streams aligned across masks).
 void FillChainNoise(Tensor* out, Rng* chain_rngs, int64_t num_chains,
-                    const Tensor& target_mask) {
-  int64_t per = target_mask.numel();
-  const float* pm = target_mask.data();
+                    const Tensor& target_masks) {
+  PRISTI_DCHECK_EQ(target_masks.numel(), out->numel());
+  int64_t per = target_masks.numel() / num_chains;
+  const float* pm_all = target_masks.data();
   float* po = out->data();
   for (int64_t c = 0; c < num_chains; ++c) {
     float* chain = po + c * per;
+    const float* pm = pm_all + c * per;
     Rng& chain_rng = chain_rngs[c];
     for (int64_t i = 0; i < per; ++i) {
       chain[i] = static_cast<float>(chain_rng.Normal()) * pm[i];
@@ -369,18 +376,22 @@ void FillChainNoise(Tensor* out, Rng* chain_rngs, int64_t num_chains,
 
 // Runs the full reverse chain for `num_chains` samples stacked into one
 // (num_chains, N, L) state tensor: one model call per kept step covers
-// every chain. The sequential fallback calls this with num_chains == 1 per
-// chain; both paths execute identical per-entry arithmetic, so they agree
-// to float precision when fed the same chain streams.
+// every chain. `target_masks` is stacked per chain ((num_chains, N, L)),
+// which is what lets chains from DIFFERENT requests — different windows,
+// different masks — share one model call on the coalesced path. The
+// sequential fallback calls this with num_chains == 1 per chain; all paths
+// execute identical per-entry arithmetic, so they agree when fed the same
+// chain streams.
 Tensor RunReverseChains(ConditionalNoisePredictor* model,
                         const DiffusionBatch& batch,
                         const std::vector<ReverseStep>& plan, bool ddim,
                         Rng* chain_rngs, int64_t num_chains,
-                        const Tensor& target_mask) {
-  int64_t n = target_mask.dim(0), l = target_mask.dim(1);
+                        const Tensor& target_masks) {
+  PRISTI_CHECK_EQ(target_masks.dim(0), num_chains);
+  int64_t n = target_masks.dim(1), l = target_masks.dim(2);
   int64_t per = n * l;
   Tensor x(t::Shape{num_chains, n, l});
-  FillChainNoise(&x, chain_rngs, num_chains, target_mask);
+  FillChainNoise(&x, chain_rngs, num_chains, target_masks);
   Tensor z(t::Shape{num_chains, n, l});
   // Clamp for the implied clean-sample estimate: stops early reverse steps
   // (where the predictor is least reliable) from compounding into
@@ -391,9 +402,9 @@ Tensor RunReverseChains(ConditionalNoisePredictor* model,
     Variable eps_hat_var = model->PredictNoise(x, batch, rs.step);
     const Tensor& eps_hat = eps_hat_var.value();
     bool add_noise = !ddim && rs.sigma > 0.0f;
-    if (add_noise) FillChainNoise(&z, chain_rngs, num_chains, target_mask);
+    if (add_noise) FillChainNoise(&z, chain_rngs, num_chains, target_masks);
     const float* pe = eps_hat.data();
-    const float* pm = target_mask.data();
+    const float* pm = target_masks.data();
     const float* pz = z.data();
     float* px = x.data();
     // Fused per-step update over all chains: x0-estimate, reverse-step
@@ -419,7 +430,7 @@ Tensor RunReverseChains(ConditionalNoisePredictor* model,
               next = rs.c0 * x0 + rs.ct * xi;
               if (add_noise) next += rs.sigma * pz[i];
             }
-            px[i] = next * pm[i % per];
+            px[i] = next * pm[i];
           }
         },
         kStepMinChunk);
@@ -447,6 +458,40 @@ Tensor TileChains(const Tensor& one, int64_t s) {
   return out;
 }
 
+// The inference-time target mask: everything not observed is imputed; the
+// conditional information is every observed value (Algorithm 2).
+Tensor InferenceTargetMask(const data::Sample& sample) {
+  int64_t n = sample.values.dim(0), l = sample.values.dim(1);
+  Tensor target_mask(t::Shape{n, l});
+  for (int64_t i = 0; i < target_mask.numel(); ++i) {
+    target_mask[i] = sample.observed[i] > 0.5f ? 0.0f : 1.0f;
+  }
+  return target_mask;
+}
+
+// Appends one completed chain to `result`: generated values on the target
+// entries, observations elsewhere. Shared by the solo and coalesced paths
+// so their merge arithmetic cannot drift (the coalesced bit-identity
+// contract compares their outputs bitwise).
+void AppendMergedChain(const float* chain, const Tensor& observed_values,
+                       const Tensor& target_mask, ImputationResult* result) {
+  Tensor merged = observed_values;
+  float* pm = merged.data();
+  const float* pt = target_mask.data();
+  for (int64_t i = 0; i < merged.numel(); ++i) pm[i] += chain[i] * pt[i];
+  result->samples.push_back(std::move(merged));
+}
+
+// Fills result->median (the per-entry median across samples).
+void FinalizeMedian(ImputationResult* result, int64_t n, int64_t l) {
+  result->median = Tensor(t::Shape{n, l});
+  for (int64_t node = 0; node < n; ++node) {
+    for (int64_t step = 0; step < l; ++step) {
+      result->median.at({node, step}) = result->Quantile(node, step, 0.5);
+    }
+  }
+}
+
 }  // namespace
 
 ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
@@ -455,18 +500,14 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
                               const ImputeOptions& options, Rng& rng) {
   PRISTI_CHECK(model != nullptr);
   PRISTI_CHECK_GT(options.num_samples, 0);
+  ModelAccessGuard access_guard(model, "ImputeWindow");
   // Sampling never backprops: run every PredictNoise under inference mode
   // so no tape is recorded and each step's activations return to the
   // buffer pool before the next step allocates them again.
   ag::NoGradGuard no_grad;
   int64_t s = options.num_samples;
   int64_t n = sample.values.dim(0), l = sample.values.dim(1);
-  // At inference the imputation target is everything not observed; the
-  // conditional information is every observed value (Algorithm 2).
-  Tensor target_mask(t::Shape{n, l});
-  for (int64_t i = 0; i < target_mask.numel(); ++i) {
-    target_mask[i] = sample.observed[i] > 0.5f ? 0.0f : 1.0f;
-  }
+  Tensor target_mask = InferenceTargetMask(sample);
   DiffusionBatch batch =
       MakeSingleWindowBatch(sample.values, sample.observed, target_mask);
 
@@ -476,22 +517,14 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
   ImputationResult result;
   result.samples.reserve(static_cast<size_t>(s));
   Tensor observed_values = t::Mul(sample.values, sample.observed);
-  auto merge_chain = [&](const float* chain) {
-    // Merge: generated values on the target, observations elsewhere.
-    Tensor merged = observed_values;
-    float* pm = merged.data();
-    const float* pt = target_mask.data();
-    for (int64_t i = 0; i < n * l; ++i) pm[i] += chain[i] * pt[i];
-    result.samples.push_back(std::move(merged));
-  };
 
   if (options.sequential_fallback) {
     // Oracle path: one chain per model call, batch size 1.
     for (int64_t c = 0; c < s; ++c) {
       Tensor xc = RunReverseChains(model, batch, plan, options.ddim,
                                    &chains[static_cast<size_t>(c)], 1,
-                                   target_mask);
-      merge_chain(xc.data());
+                                   batch.target_mask);
+      AppendMergedChain(xc.data(), observed_values, target_mask, &result);
     }
   } else {
     // Batched path: all chains advance together; each reverse step is a
@@ -502,18 +535,132 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
     tiled.interpolated = TileChains(batch.interpolated, s);
     tiled.target_mask = TileChains(batch.target_mask, s);
     Tensor x = RunReverseChains(model, tiled, plan, options.ddim,
-                                chains.data(), s, target_mask);
-    for (int64_t c = 0; c < s; ++c) merge_chain(x.data() + c * n * l);
-  }
-
-  // Per-entry median.
-  result.median = Tensor(t::Shape{n, l});
-  for (int64_t node = 0; node < n; ++node) {
-    for (int64_t step = 0; step < l; ++step) {
-      result.median.at({node, step}) = result.Quantile(node, step, 0.5);
+                                chains.data(), s, tiled.target_mask);
+    for (int64_t c = 0; c < s; ++c) {
+      AppendMergedChain(x.data() + c * n * l, observed_values, target_mask,
+                        &result);
     }
   }
+
+  FinalizeMedian(&result, n, l);
   return result;
 }
+
+std::vector<ImputationResult> ImputeWindowsCoalesced(
+    ConditionalNoisePredictor* model, const NoiseSchedule& schedule,
+    const std::vector<data::Sample>& windows,
+    const std::vector<uint64_t>& seeds, const ImputeOptions& options) {
+  PRISTI_CHECK(model != nullptr);
+  PRISTI_CHECK_EQ(windows.size(), seeds.size());
+  PRISTI_CHECK_GT(options.num_samples, 0);
+  int64_t num_requests = static_cast<int64_t>(windows.size());
+  if (num_requests == 0) return {};
+  ModelAccessGuard access_guard(model, "ImputeWindowsCoalesced");
+  ag::NoGradGuard no_grad;
+  int64_t s = options.num_samples;
+  int64_t n = windows[0].values.dim(0), l = windows[0].values.dim(1);
+  int64_t per = n * l;
+
+  // Per-request conditioning, target masks and chain streams. Request r's
+  // chains are derived from a fresh Rng(seeds[r]) — NOT from one shared
+  // stream — so the draws a request consumes depend only on its own seed,
+  // never on which other requests happen to share the batch or in which
+  // order they arrived.
+  DiffusionBatch stacked;
+  stacked.cond_values = Tensor(t::Shape{num_requests * s, n, l});
+  stacked.cond_mask = Tensor(t::Shape{num_requests * s, n, l});
+  stacked.interpolated = Tensor(t::Shape{num_requests * s, n, l});
+  stacked.target_mask = Tensor(t::Shape{num_requests * s, n, l});
+  std::vector<Tensor> target_masks;   // per request, (N, L)
+  std::vector<Tensor> observed_vals;  // per request, (N, L)
+  std::vector<Rng> chains;
+  target_masks.reserve(static_cast<size_t>(num_requests));
+  observed_vals.reserve(static_cast<size_t>(num_requests));
+  chains.reserve(static_cast<size_t>(num_requests * s));
+  for (int64_t r = 0; r < num_requests; ++r) {
+    const data::Sample& sample = windows[static_cast<size_t>(r)];
+    PRISTI_CHECK_EQ(sample.values.dim(0), n);
+    PRISTI_CHECK_EQ(sample.values.dim(1), l);
+    target_masks.push_back(InferenceTargetMask(sample));
+    observed_vals.push_back(t::Mul(sample.values, sample.observed));
+    DiffusionBatch batch = MakeSingleWindowBatch(sample.values,
+                                                 sample.observed,
+                                                 target_masks.back());
+    for (int64_t c = 0; c < s; ++c) {
+      int64_t chain_index = r * s + c;
+      auto copy_into = [&](const Tensor& one, Tensor* dest) {
+        std::copy(one.data(), one.data() + per,
+                  dest->data() + chain_index * per);
+      };
+      copy_into(batch.cond_values, &stacked.cond_values);
+      copy_into(batch.cond_mask, &stacked.cond_mask);
+      copy_into(batch.interpolated, &stacked.interpolated);
+      copy_into(batch.target_mask, &stacked.target_mask);
+    }
+    Rng request_rng(seeds[static_cast<size_t>(r)]);
+    std::vector<Rng> request_chains = MakeChainStreams(request_rng, s);
+    for (Rng& chain : request_chains) chains.push_back(chain);
+  }
+
+  std::vector<ReverseStep> plan = PlanReverseSteps(schedule, options);
+  Tensor x = RunReverseChains(model, stacked, plan, options.ddim,
+                              chains.data(), num_requests * s,
+                              stacked.target_mask);
+
+  std::vector<ImputationResult> results(static_cast<size_t>(num_requests));
+  for (int64_t r = 0; r < num_requests; ++r) {
+    ImputationResult& result = results[static_cast<size_t>(r)];
+    result.samples.reserve(static_cast<size_t>(s));
+    for (int64_t c = 0; c < s; ++c) {
+      AppendMergedChain(x.data() + (r * s + c) * per,
+                        observed_vals[static_cast<size_t>(r)],
+                        target_masks[static_cast<size_t>(r)], &result);
+    }
+    FinalizeMedian(&result, n, l);
+  }
+  return results;
+}
+
+#if PRISTI_DCHECK_IS_ON
+
+namespace {
+
+std::mutex& ModelAccessMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<const void*, const char*>& ModelAccessSites() {
+  static std::unordered_map<const void*, const char*> sites;
+  return sites;
+}
+
+}  // namespace
+
+ModelAccessGuard::ModelAccessGuard(const void* model, const char* site)
+    : model_(model) {
+  std::lock_guard<std::mutex> guard(ModelAccessMutex());
+  auto [it, inserted] = ModelAccessSites().emplace(model, site);
+  PRISTI_CHECK(inserted)
+      << "concurrent use of one ConditionalNoisePredictor: " << site
+      << " entered while " << it->second
+      << " is still running on the same model. A model is single-caller; "
+         "route concurrent imputation requests through serve::ServeSession, "
+         "which serializes model access and coalesces requests into one "
+         "batched call.";
+}
+
+ModelAccessGuard::~ModelAccessGuard() {
+  std::lock_guard<std::mutex> guard(ModelAccessMutex());
+  ModelAccessSites().erase(model_);
+}
+
+#else  // PRISTI_DCHECK_IS_ON
+
+ModelAccessGuard::ModelAccessGuard(const void* model, const char* /*site*/)
+    : model_(model) {}
+ModelAccessGuard::~ModelAccessGuard() = default;
+
+#endif  // PRISTI_DCHECK_IS_ON
 
 }  // namespace pristi::diffusion

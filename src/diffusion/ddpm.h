@@ -150,6 +150,51 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
                               const data::Sample& sample,
                               const ImputeOptions& options, Rng& rng);
 
+// Coalesced multi-request sampling: R same-shape windows, each drawing its
+// own `options.num_samples` chains, advance through ONE reverse chain of
+// (R*S, N, L) model calls — the serving layer's cross-request batching
+// primitive. Request r's chain streams are exactly the ones ImputeWindow
+// derives from Rng(seeds[r]), and every per-chain/per-entry operation in
+// the model forward and the reverse update is independent of the leading
+// batch index (the GEMM layer's fixed per-element accumulation order makes
+// that hold bitwise), so each returned result is BIT-IDENTICAL to
+//   Rng rng(seeds[r]);
+//   ImputeWindow(model, schedule, windows[r], options, rng);
+// regardless of batch composition or arrival order — serve_test enforces
+// this. `options.num_samples` and the DDIM settings are shared by the
+// whole batch (that is what makes windows coalescible);
+// `options.sequential_fallback` is ignored. Returns one result per window,
+// in input order.
+std::vector<ImputationResult> ImputeWindowsCoalesced(
+    ConditionalNoisePredictor* model, const NoiseSchedule& schedule,
+    const std::vector<data::Sample>& windows,
+    const std::vector<uint64_t>& seeds, const ImputeOptions& options);
+
+// ---- Exclusive-access enforcement -------------------------------------------
+// A ConditionalNoisePredictor is NOT safe for concurrent calls: a forward
+// pass reads the module's weights through shared-storage views, and the
+// library's bit-identity contracts are only defined for one in-flight call
+// per model. Every window-level entry point (TrainDiffusionModel,
+// ImputeWindow, ImputeWindowsCoalesced — and through them
+// eval::ImputeSeries / EvaluateImputer / EvaluateFittedImputer) holds a
+// ModelAccessGuard on its model for the duration of the call. When debug
+// checks are compiled in (PRISTI_DCHECK_IS_ON, i.e. any non-NDEBUG build
+// or -DPRISTI_DEBUG_CHECKS=ON), two overlapping holders of the same model
+// abort with a message pointing at serve::ServeSession — the supported way
+// to share one model between threads. A no-op when debug checks are off.
+class ModelAccessGuard {
+ public:
+  // `site` names the entry point for the diagnostic; it must be a string
+  // with static storage duration.
+  ModelAccessGuard(const void* model, const char* site);
+  ~ModelAccessGuard();
+  ModelAccessGuard(const ModelAccessGuard&) = delete;
+  ModelAccessGuard& operator=(const ModelAccessGuard&) = delete;
+
+ private:
+  const void* model_;
+};
+
 // Builds the (1, N, L) conditional batch for a window: conditional values /
 // mask and their linear interpolation, plus the given target mask.
 DiffusionBatch MakeSingleWindowBatch(const Tensor& values,

@@ -4,6 +4,15 @@
 // Experiment harness: adapts the diffusion models (PriSTI, CSDI, the
 // ablation variants) to the common Imputer interface, runs any imputer over
 // a task's test split, and reports the paper's metrics in raw data units.
+//
+// Exclusive model access: everything here (ImputeSeries, EvaluateImputer,
+// EvaluateFittedImputer, the adapters) drives the model from the calling
+// thread and assumes it is the model's ONLY user for the duration of the
+// call — the window-level diffusion entry points underneath hold a
+// diffusion::ModelAccessGuard and abort on overlap when debug checks are
+// compiled in. To share one model between concurrent callers, put a
+// serve::ServeSession in front of it instead of calling the harness from
+// multiple threads.
 
 #include <functional>
 #include <memory>

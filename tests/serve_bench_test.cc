@@ -1,0 +1,193 @@
+// ServeBench: end-to-end latency/throughput of the serving layer under N
+// concurrent closed-loop clients, N in {1, 4, 16}. Each client submits a
+// request, waits for its response and immediately submits the next, so the
+// offered load scales with concurrency and the batcher's coalescing shows
+// up directly in the mean-batch column and the throughput curve.
+//
+// Emits BENCH_serve.json to PRISTI_BENCH_DIR (or a temp dir). Records
+// numbers, asserts nothing about speed; registered under the `bench` ctest
+// label so gating runs exclude it (`ctest -LE bench`).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "diffusion/schedule.h"
+#include "pristi/pristi_model.h"
+#include "serve/session.h"
+#include "test_tmpdir.h"
+
+namespace pristi::serve {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr int64_t kNodes = 8;
+constexpr int64_t kLen = 12;
+constexpr int64_t kTotalRequestsPerLevel = 64;
+
+data::Sample MakeWindow(uint64_t seed) {
+  Rng rng(seed);
+  data::Sample sample;
+  sample.values = Tensor::Randn({kNodes, kLen}, rng);
+  sample.observed = Tensor::Ones({kNodes, kLen});
+  sample.eval = Tensor::Zeros({kNodes, kLen});
+  for (int64_t node = 0; node < kNodes; ++node) {
+    for (int64_t step = 0; step < kLen; ++step) {
+      if ((node * 7 + step * 3) % 10 < 3) {
+        sample.observed.at({node, step}) = 0.0f;
+      }
+    }
+  }
+  return sample;
+}
+
+std::shared_ptr<core::PristiModel> MakeBenchModel() {
+  core::PristiConfig config;
+  config.num_nodes = kNodes;
+  config.window_len = kLen;
+  config.channels = 8;
+  config.heads = 2;
+  config.layers = 1;
+  config.virtual_nodes = 2;
+  config.diffusion_emb_dim = 8;
+  config.temporal_emb_dim = 8;
+  config.node_emb_dim = 4;
+  config.adaptive_rank = 4;
+  config.graph_diffusion_steps = 1;
+  Tensor adjacency(Shape{kNodes, kNodes});
+  for (int64_t i = 0; i + 1 < kNodes; ++i) {
+    adjacency.at({i, i + 1}) = 1.0f;
+    adjacency.at({i + 1, i}) = 1.0f;
+  }
+  Rng rng(12);
+  return std::make_shared<core::PristiModel>(config, adjacency, rng);
+}
+
+double PercentileMs(std::vector<int64_t> latencies_nanos, double p) {
+  if (latencies_nanos.empty()) return 0.0;
+  std::sort(latencies_nanos.begin(), latencies_nanos.end());
+  size_t index = static_cast<size_t>(
+      p * static_cast<double>(latencies_nanos.size() - 1) + 0.5);
+  return static_cast<double>(latencies_nanos[index]) / 1e6;
+}
+
+struct LevelResult {
+  int64_t concurrency = 0;
+  int64_t completed = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double throughput_rps = 0.0;
+  double mean_batch = 0.0;
+};
+
+LevelResult RunLevel(int64_t concurrency) {
+  auto model = MakeBenchModel();
+  auto schedule = diffusion::NoiseSchedule::Quadratic(6, 1e-4f, 0.2f);
+  ServeConfig config;
+  config.num_nodes = kNodes;
+  config.window_len = kLen;
+  config.max_batch = 8;
+  config.max_wait_nanos = 500'000;  // 0.5 ms
+  config.queue_capacity = 64;
+  config.impute.num_samples = 2;
+  ServeSession session(ModelSlot{model, model.get()}, nullptr, schedule,
+                       config);
+
+  const int64_t per_client = kTotalRequestsPerLevel / concurrency;
+  std::mutex latencies_mu;
+  std::vector<int64_t> latencies;
+  int64_t total_batch = 0;
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int64_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      for (int64_t r = 0; r < per_client; ++r) {
+        ImputeRequest request;
+        request.window = MakeWindow(static_cast<uint64_t>(c % 4));
+        request.seed = static_cast<uint64_t>(c * 1000 + r);
+        ImputeResponse response = session.Submit(std::move(request)).get();
+        ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+        std::lock_guard<std::mutex> guard(latencies_mu);
+        latencies.push_back(response.total_nanos);
+        total_batch += response.batch_size;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  double wall_sec = wall.ElapsedSeconds();
+  session.Shutdown(ServeSession::DrainMode::kDrain);
+
+  LevelResult result;
+  result.concurrency = concurrency;
+  result.completed = static_cast<int64_t>(latencies.size());
+  result.p50_ms = PercentileMs(latencies, 0.50);
+  result.p99_ms = PercentileMs(latencies, 0.99);
+  result.throughput_rps =
+      static_cast<double>(result.completed) / std::max(wall_sec, 1e-9);
+  result.mean_batch = static_cast<double>(total_batch) /
+                      static_cast<double>(std::max<int64_t>(
+                          result.completed, 1));
+  return result;
+}
+
+TEST(ServeBench, LatencyThroughputAcrossConcurrencyLevels) {
+  pristi::testing::TestTempDir tmp;
+  std::string bench_dir = pristi::GetEnvOr("PRISTI_BENCH_DIR", "");
+  std::string json_path = !bench_dir.empty()
+                              ? bench_dir + "/BENCH_serve.json"
+                              : tmp.File("BENCH_serve.json");
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  ASSERT_NE(json, nullptr);
+  std::fprintf(json,
+               "{\n"
+               "  \"threads\": %lld,\n"
+               "  \"nodes\": %lld,\n"
+               "  \"window_len\": %lld,\n"
+               "  \"samples_per_request\": 2,\n"
+               "  \"requests_per_level\": %lld,\n"
+               "  \"levels\": [",
+               static_cast<long long>(ParallelThreadCount()),
+               static_cast<long long>(kNodes), static_cast<long long>(kLen),
+               static_cast<long long>(kTotalRequestsPerLevel));
+  std::printf("ServeBench (%lld pool threads)\n",
+              static_cast<long long>(ParallelThreadCount()));
+  std::printf("%6s %10s %10s %10s %12s %10s\n", "N", "requests", "p50 ms",
+              "p99 ms", "req/s", "avg batch");
+
+  bool first = true;
+  for (int64_t concurrency : {1, 4, 16}) {
+    LevelResult result = RunLevel(concurrency);
+    EXPECT_EQ(result.completed, kTotalRequestsPerLevel);
+    EXPECT_GT(result.throughput_rps, 0.0);
+    std::fprintf(json,
+                 "%s\n    {\"concurrency\": %lld, \"completed\": %lld, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"throughput_rps\": %.2f, \"mean_batch\": %.2f}",
+                 first ? "" : ",", static_cast<long long>(result.concurrency),
+                 static_cast<long long>(result.completed), result.p50_ms,
+                 result.p99_ms, result.throughput_rps, result.mean_batch);
+    std::printf("%6lld %10lld %10.3f %10.3f %12.2f %10.2f\n",
+                static_cast<long long>(result.concurrency),
+                static_cast<long long>(result.completed), result.p50_ms,
+                result.p99_ms, result.throughput_rps, result.mean_batch);
+    first = false;
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("[json written to %s]\n", json_path.c_str());
+}
+
+}  // namespace
+}  // namespace pristi::serve
