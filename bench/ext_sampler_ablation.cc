@@ -31,14 +31,33 @@ void Run() {
     const char* name;
     diffusion::ImputeOptions impute;
   };
+  using diffusion::SamplerKind;
+  // Step counts > the schedule length clamp to the full schedule, so the
+  // PLMS steps=50 row is meaningful at full scale (T=50) and degrades to
+  // full-schedule PLMS at quick scale (T=30).
   const std::vector<Config> configs = {
       {"ancestral s=5", {.num_samples = 5}},
       {"ancestral s=15", {.num_samples = 15}},
-      {"ddim s=5", {.num_samples = 5, .ddim = true, .ddim_stride = 1}},
-      {"ddim s=15 stride=3",
-       {.num_samples = 15, .ddim = true, .ddim_stride = 3}},
-      {"ddim s=15 stride=5",
-       {.num_samples = 15, .ddim = true, .ddim_stride = 5}},
+      {"ddim s=5",
+       {.num_samples = 5, .sampler = SamplerKind::kDdim}},
+      {"ddim s=15 steps=10",
+       {.num_samples = 15, .sampler = SamplerKind::kDdim,
+        .num_inference_steps = 10}},
+      {"ddim s=15 steps=6",
+       {.num_samples = 15, .sampler = SamplerKind::kDdim,
+        .num_inference_steps = 6}},
+      {"plms s=15 steps=5",
+       {.num_samples = 15, .sampler = SamplerKind::kPlms,
+        .num_inference_steps = 5}},
+      {"plms s=15 steps=10",
+       {.num_samples = 15, .sampler = SamplerKind::kPlms,
+        .num_inference_steps = 10}},
+      {"plms s=15 steps=20",
+       {.num_samples = 15, .sampler = SamplerKind::kPlms,
+        .num_inference_steps = 20}},
+      {"plms s=15 steps=50",
+       {.num_samples = 15, .sampler = SamplerKind::kPlms,
+        .num_inference_steps = 50}},
   };
   TablePrinter table({"sampler", "MAE", "MSE", "seconds"});
   for (const Config& config : configs) {

@@ -60,14 +60,21 @@
 //   PRISTI_SERVE_QUEUE_CAP  64 — bounded admission queue capacity; when
 //          full, Submit rejects with the retryable queue-full status
 //          instead of blocking the client.
+//   PRISTI_SERVE_SAMPLER  unset — session-default reverse sampler
+//          (ddpm|ddim|plms); unset keeps ImputeOptions' built-in default.
+//          Unknown names abort at startup. Requests may still override per
+//          request.
+//   PRISTI_SERVE_STEPS  0 — session-default kept reverse steps
+//          (diffusion::ImputeOptions::num_inference_steps); 0 = full
+//          schedule.
 //
 // Test and CI harness:
 //   PRISTI_REGEN_GOLDEN  unset — when set, golden-file tests
 //          (serialize_test, sampler_equivalence_test) rewrite their
 //          checked-in golden artifacts instead of comparing against them.
 //   PRISTI_BENCH_DIR  unset — when set, bench-flavored tests
-//          (bench_scale_test, kernel_bench_test) write their JSON reports
-//          into this directory.
+//          (bench_scale_test, kernel_bench_test, sampler_parity_test)
+//          write their JSON reports into this directory.
 //   PRISTI_SANITIZE_CONFIGS  "address+undefined thread" — which sanitizer
 //          configs tools/run_static_analysis.sh builds and tests.
 //   PRISTI_NATIVE_BITEQ  0 — 1 adds the -march=native bit-identity leg to

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 
 #include "autograd/ops.h"
@@ -302,143 +305,36 @@ std::vector<Rng> MakeChainStreams(Rng& rng, int64_t count) {
 
 namespace {
 
-// Schedule constants for one kept reverse step, precomputed once per
-// ImputeWindow so the per-step (and, sequentially, per-chain) loop does no
-// schedule lookups or sqrt work.
-struct ReverseStep {
-  int64_t step = 0;          // 1-based diffusion step fed to the model
-  float inv_sqrt_ab = 0;     // 1 / sqrt(alpha_bar_t)
-  float sqrt_1m_ab = 0;      // sqrt(1 - alpha_bar_t)
-  // DDIM (eta = 0) coefficients against the *previous kept* step.
-  float sqrt_ab_prev = 0;
-  float sqrt_1m_ab_prev = 0;
-  // DDPM posterior-mean coefficients (x0 form) and noise scale.
-  float c0 = 0;
-  float ct = 0;
-  float sigma = 0;           // 0 at the final step (no noise added)
-};
-
-std::vector<ReverseStep> PlanReverseSteps(const NoiseSchedule& schedule,
-                                          const ImputeOptions& options) {
-  std::vector<int64_t> steps;
-  int64_t stride =
-      options.ddim ? std::max<int64_t>(options.ddim_stride, 1) : 1;
-  for (int64_t step = schedule.num_steps(); step >= 1; step -= stride) {
-    steps.push_back(step);
-  }
-  std::vector<ReverseStep> plan(steps.size());
-  for (size_t si = 0; si < steps.size(); ++si) {
-    int64_t step = steps[si];
-    ReverseStep& rs = plan[si];
-    rs.step = step;
-    float ab = schedule.alpha_bar(step);
-    rs.inv_sqrt_ab = 1.0f / std::sqrt(ab);
-    rs.sqrt_1m_ab = std::sqrt(1.0f - ab);
-    if (options.ddim) {
-      int64_t prev = si + 1 < steps.size() ? steps[si + 1] : 0;
-      float ab_prev = schedule.alpha_bar(prev);
-      rs.sqrt_ab_prev = std::sqrt(ab_prev);
-      rs.sqrt_1m_ab_prev = std::sqrt(1.0f - ab_prev);
-    } else {
-      float alpha = schedule.alpha(step);
-      float beta = schedule.beta(step);
-      float ab_prev = schedule.alpha_bar(step - 1);
-      rs.c0 = std::sqrt(ab_prev) * beta / (1.0f - ab);
-      rs.ct = std::sqrt(alpha) * (1.0f - ab_prev) / (1.0f - ab);
-      rs.sigma = step > 1 ? std::sqrt(schedule.sigma2(step)) : 0.0f;
-    }
-  }
-  return plan;
-}
-
-// Fills `out` (B, N, L) with one N(0,1) draw per entry, chain-major: chain
-// b consumes exactly N*L draws from its own stream, in row-major order, so
-// the draw sequence per chain is independent of how many chains share the
-// tensor. `target_masks` is stacked per chain — (B, N, L) like `out` — so
-// chains belonging to different coalesced requests each project onto their
-// own mask. Entries outside a chain's mask are zeroed after drawing (the
-// draw still happens, keeping streams aligned across masks).
-void FillChainNoise(Tensor* out, Rng* chain_rngs, int64_t num_chains,
-                    const Tensor& target_masks) {
-  PRISTI_DCHECK_EQ(target_masks.numel(), out->numel());
-  int64_t per = target_masks.numel() / num_chains;
-  const float* pm_all = target_masks.data();
-  float* po = out->data();
-  for (int64_t c = 0; c < num_chains; ++c) {
-    float* chain = po + c * per;
-    const float* pm = pm_all + c * per;
-    Rng& chain_rng = chain_rngs[c];
-    for (int64_t i = 0; i < per; ++i) {
-      chain[i] = static_cast<float>(chain_rng.Normal()) * pm[i];
-    }
-  }
-}
-
 // Runs the full reverse chain for `num_chains` samples stacked into one
 // (num_chains, N, L) state tensor: one model call per kept step covers
-// every chain. `target_masks` is stacked per chain ((num_chains, N, L)),
-// which is what lets chains from DIFFERENT requests — different windows,
-// different masks — share one model call on the coalesced path. The
-// sequential fallback calls this with num_chains == 1 per chain; all paths
-// execute identical per-entry arithmetic, so they agree when fed the same
-// chain streams.
+// every chain (the PLMS warm-up makes a few calls per step).
+// `target_masks` is stacked per chain ((num_chains, N, L)), which is what
+// lets chains from DIFFERENT requests — different windows, different masks
+// — share one model call on the coalesced path. The sequential fallback
+// calls this with num_chains == 1 per chain; all paths execute identical
+// per-entry arithmetic (and a FRESH stepper per call, so PLMS history is
+// per-chain-set), so they agree when fed the same chain streams.
 Tensor RunReverseChains(ConditionalNoisePredictor* model,
                         const DiffusionBatch& batch,
-                        const std::vector<ReverseStep>& plan, bool ddim,
-                        Rng* chain_rngs, int64_t num_chains,
-                        const Tensor& target_masks) {
+                        const std::vector<ReverseStep>& plan,
+                        SamplerKind sampler, Rng* chain_rngs,
+                        int64_t num_chains, const Tensor& target_masks) {
   PRISTI_CHECK_EQ(target_masks.dim(0), num_chains);
   int64_t n = target_masks.dim(1), l = target_masks.dim(2);
   int64_t per = n * l;
   Tensor x(t::Shape{num_chains, n, l});
   FillChainNoise(&x, chain_rngs, num_chains, target_masks);
-  Tensor z(t::Shape{num_chains, n, l});
-  // Clamp for the implied clean-sample estimate: stops early reverse steps
-  // (where the predictor is least reliable) from compounding into
-  // divergence — the standard "clip x0" stabilization.
-  constexpr float kX0Clamp = 6.0f;
-  constexpr int64_t kStepMinChunk = 1 << 12;
-  for (const ReverseStep& rs : plan) {
-    Variable eps_hat_var = model->PredictNoise(x, batch, rs.step);
-    const Tensor& eps_hat = eps_hat_var.value();
-    bool add_noise = !ddim && rs.sigma > 0.0f;
-    if (add_noise) FillChainNoise(&z, chain_rngs, num_chains, target_masks);
-    const float* pe = eps_hat.data();
-    const float* pm = target_masks.data();
-    const float* pz = z.data();
-    float* px = x.data();
-    // Fused per-step update over all chains: x0-estimate, reverse-step
-    // combination and target-mask projection in one pass, no temporaries.
-    ParallelFor(
-        0, x.numel(),
-        [&](int64_t lo, int64_t hi) {
-          for (int64_t i = lo; i < hi; ++i) {
-            float e = pe[i];
-            float xi = px[i];
-            float x0 = (xi - rs.sqrt_1m_ab * e) * rs.inv_sqrt_ab;
-            x0 = std::clamp(x0, -kX0Clamp, kX0Clamp);
-            float next;
-            if (ddim) {
-              // DDIM (eta = 0): x_prev = sqrt(ab_prev) x0_hat
-              //                         + sqrt(1 - ab_prev) eps_hat.
-              next = rs.sqrt_ab_prev * x0 + rs.sqrt_1m_ab_prev * e;
-            } else {
-              // DDPM ancestral step via the posterior mean in x0 form
-              // (equivalent to Algorithm 2 when x0_hat is unclamped):
-              // mu = [sqrt(ab_prev) beta_t x0_hat
-              //       + sqrt(alpha_t) (1 - ab_prev) x_t] / (1 - ab_t).
-              next = rs.c0 * x0 + rs.ct * xi;
-              if (add_noise) next += rs.sigma * pz[i];
-            }
-            px[i] = next * pm[i];
-          }
-        },
-        kStepMinChunk);
+  std::unique_ptr<SamplerStepper> stepper =
+      MakeSamplerStepper(sampler, plan.size());
+  for (size_t si = 0; si < plan.size(); ++si) {
+    stepper->Step(model, batch, plan, si, &x, chain_rngs, num_chains,
+                  target_masks);
     if (NanCheckEnabled()) {
       int64_t bad = FirstNonFinite(x.data(), x.numel());
       PRISTI_CHECK(bad < 0)
-          << "PRISTI_DEBUG_NANCHECK: reverse diffusion step t=" << rs.step
-          << " produced non-finite value at flat index " << bad
+          << "PRISTI_DEBUG_NANCHECK: reverse diffusion step t="
+          << plan[si].step << " (" << SamplerKindName(sampler)
+          << ") produced non-finite value at flat index " << bad
           << " (chain " << bad / per << "), state shape "
           << t::ShapeToString(x.shape());
     }
@@ -512,7 +408,8 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
       MakeSingleWindowBatch(sample.values, sample.observed, target_mask);
 
   std::vector<Rng> chains = MakeChainStreams(rng, s);
-  std::vector<ReverseStep> plan = PlanReverseSteps(schedule, options);
+  std::vector<ReverseStep> plan =
+      PlanReverseSteps(schedule, options.num_inference_steps);
 
   ImputationResult result;
   result.samples.reserve(static_cast<size_t>(s));
@@ -521,7 +418,7 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
   if (options.sequential_fallback) {
     // Oracle path: one chain per model call, batch size 1.
     for (int64_t c = 0; c < s; ++c) {
-      Tensor xc = RunReverseChains(model, batch, plan, options.ddim,
+      Tensor xc = RunReverseChains(model, batch, plan, options.sampler,
                                    &chains[static_cast<size_t>(c)], 1,
                                    batch.target_mask);
       AppendMergedChain(xc.data(), observed_values, target_mask, &result);
@@ -534,7 +431,7 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
     tiled.cond_mask = TileChains(batch.cond_mask, s);
     tiled.interpolated = TileChains(batch.interpolated, s);
     tiled.target_mask = TileChains(batch.target_mask, s);
-    Tensor x = RunReverseChains(model, tiled, plan, options.ddim,
+    Tensor x = RunReverseChains(model, tiled, plan, options.sampler,
                                 chains.data(), s, tiled.target_mask);
     for (int64_t c = 0; c < s; ++c) {
       AppendMergedChain(x.data() + c * n * l, observed_values, target_mask,
@@ -602,8 +499,9 @@ std::vector<ImputationResult> ImputeWindowsCoalesced(
     for (Rng& chain : request_chains) chains.push_back(chain);
   }
 
-  std::vector<ReverseStep> plan = PlanReverseSteps(schedule, options);
-  Tensor x = RunReverseChains(model, stacked, plan, options.ddim,
+  std::vector<ReverseStep> plan =
+      PlanReverseSteps(schedule, options.num_inference_steps);
+  Tensor x = RunReverseChains(model, stacked, plan, options.sampler,
                               chains.data(), num_requests * s,
                               stacked.target_mask);
 
@@ -617,6 +515,49 @@ std::vector<ImputationResult> ImputeWindowsCoalesced(
                         target_masks[static_cast<size_t>(r)], &result);
     }
     FinalizeMedian(&result, n, l);
+  }
+  return results;
+}
+
+std::vector<ImputationResult> ImputeWindowsCoalesced(
+    ConditionalNoisePredictor* model, const NoiseSchedule& schedule,
+    const std::vector<data::Sample>& windows,
+    const std::vector<uint64_t>& seeds,
+    const std::vector<ImputeOptions>& options) {
+  PRISTI_CHECK_EQ(windows.size(), options.size());
+  PRISTI_CHECK_EQ(windows.size(), seeds.size());
+  if (windows.empty()) return {};
+  // Partition into coalescible groups. A reverse-step model call carries a
+  // single diffusion step t for the whole batch, so only requests with the
+  // same sampler, kept-step plan and chain count can share a chain run.
+  // std::map gives a deterministic group order independent of arrival
+  // order (each group's outputs are bit-identical to solo runs anyway, but
+  // deterministic model-call order keeps traces reproducible too).
+  using GroupKey = std::tuple<int, int64_t, int64_t>;
+  std::map<GroupKey, std::vector<size_t>> groups;
+  for (size_t r = 0; r < windows.size(); ++r) {
+    const ImputeOptions& o = options[r];
+    groups[GroupKey{static_cast<int>(o.sampler), o.num_inference_steps,
+                    o.num_samples}]
+        .push_back(r);
+  }
+  std::vector<ImputationResult> results(windows.size());
+  for (auto& [key, members] : groups) {
+    std::vector<data::Sample> group_windows;
+    std::vector<uint64_t> group_seeds;
+    group_windows.reserve(members.size());
+    group_seeds.reserve(members.size());
+    for (size_t r : members) {
+      group_windows.push_back(windows[r]);
+      group_seeds.push_back(seeds[r]);
+    }
+    ImputeOptions group_options = options[members.front()];
+    group_options.sequential_fallback = false;
+    std::vector<ImputationResult> group_results = ImputeWindowsCoalesced(
+        model, schedule, group_windows, group_seeds, group_options);
+    for (size_t i = 0; i < members.size(); ++i) {
+      results[members[i]] = std::move(group_results[i]);
+    }
   }
   return results;
 }

@@ -13,6 +13,7 @@
 #include "autograd/variable.h"
 #include "common/rng.h"
 #include "data/windows.h"
+#include "diffusion/sampler.h"
 #include "diffusion/schedule.h"
 
 namespace pristi::diffusion {
@@ -121,17 +122,25 @@ struct ImputationResult {
 
 struct ImputeOptions {
   int64_t num_samples = 20;  // paper uses 100; reduced default for CI speed
-  // DDIM (eta = 0) deterministic reverse steps instead of DDPM ancestral
-  // sampling: lower-variance point estimates and, with `ddim_stride` > 1, a
-  // stride-times faster sampler that skips diffusion steps. An extension
-  // beyond the paper (which uses ancestral sampling); per-sample diversity
-  // then comes only from the initial noise draw.
-  bool ddim = false;
-  int64_t ddim_stride = 1;
+  // Which reverse-process sampler advances the chains (see
+  // diffusion/sampler.h for the family): kDdpm is the paper's ancestral
+  // sampler, kDdim the deterministic eta = 0 accelerator, kPlms the
+  // pseudo-numerical 4th-order multistep solver that reaches DDIM quality
+  // in ~5-10x fewer kept steps. For kDdim/kPlms per-sample diversity comes
+  // only from the initial noise draw.
+  SamplerKind sampler = SamplerKind::kDdpm;
+  // How many reverse steps to actually run: <= 0 (or >= the schedule's T)
+  // keeps the full schedule; otherwise the K evenly spaced kept steps
+  // t_i = T - floor(i*T/K) — for T divisible by K this is exactly the old
+  // stride-(T/K) DDIM subset. The SAME subset rule applies to all three
+  // samplers, so step-count sweeps are sampler-comparable
+  // (bench/ext_sampler_ablation.cc, tests/sampler_parity_test.cc).
+  int64_t num_inference_steps = 0;
   // Runs the `num_samples` reverse chains one at a time (batch size 1 per
   // model call) instead of stacking them into one (S, N, L) batch. The two
-  // paths draw from identical per-chain RNG streams, so the sequential path
-  // is the reference oracle the sampler-equivalence tests compare against.
+  // paths draw from identical per-chain RNG streams (and PLMS keeps its
+  // eps history per chain), so the sequential path is the reference oracle
+  // the sampler-equivalence tests compare against.
   bool sequential_fallback = false;
 };
 
@@ -161,7 +170,7 @@ ImputationResult ImputeWindow(ConditionalNoisePredictor* model,
 //   Rng rng(seeds[r]);
 //   ImputeWindow(model, schedule, windows[r], options, rng);
 // regardless of batch composition or arrival order — serve_test enforces
-// this. `options.num_samples` and the DDIM settings are shared by the
+// this. `options.num_samples` and the sampler settings are shared by the
 // whole batch (that is what makes windows coalescible);
 // `options.sequential_fallback` is ignored. Returns one result per window,
 // in input order.
@@ -169,6 +178,21 @@ std::vector<ImputationResult> ImputeWindowsCoalesced(
     ConditionalNoisePredictor* model, const NoiseSchedule& schedule,
     const std::vector<data::Sample>& windows,
     const std::vector<uint64_t>& seeds, const ImputeOptions& options);
+
+// Mixed-options coalescing: one ImputeOptions per window. Requests are
+// partitioned into groups with identical (sampler, num_inference_steps,
+// num_samples) — a model call takes a single diffusion step t, so only
+// like-configured requests can share one reverse chain — and each group
+// runs through the homogeneous coalesced path above. The per-request
+// bit-identity guarantee is unchanged: every result is bitwise the one
+// ImputeWindow(model, schedule, windows[r], options[r], Rng(seeds[r]))
+// returns, regardless of which samplers share the batch. Groups run in
+// deterministic key order; results come back in input order.
+std::vector<ImputationResult> ImputeWindowsCoalesced(
+    ConditionalNoisePredictor* model, const NoiseSchedule& schedule,
+    const std::vector<data::Sample>& windows,
+    const std::vector<uint64_t>& seeds,
+    const std::vector<ImputeOptions>& options);
 
 // ---- Exclusive-access enforcement -------------------------------------------
 // A ConditionalNoisePredictor is NOT safe for concurrent calls: a forward

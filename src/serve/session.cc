@@ -18,7 +18,25 @@ ServeConfig ServeConfig::FromEnv() {
       GetEnvIntOr("PRISTI_SERVE_MAX_WAIT_MS", 5) * 1'000'000;
   config.queue_capacity =
       GetEnvIntOr("PRISTI_SERVE_QUEUE_CAP", config.queue_capacity);
+  std::string sampler = GetEnvOr("PRISTI_SERVE_SAMPLER", "");
+  if (!sampler.empty()) {
+    PRISTI_CHECK(
+        diffusion::ParseSamplerKind(sampler, &config.impute.sampler))
+        << "PRISTI_SERVE_SAMPLER: unknown sampler '" << sampler
+        << "' (ddpm|ddim|plms)";
+  }
+  config.impute.num_inference_steps = GetEnvIntOr(
+      "PRISTI_SERVE_STEPS", config.impute.num_inference_steps);
   return config;
+}
+
+Status ParseSamplerName(const std::string& name,
+                        diffusion::SamplerKind* out) {
+  if (!diffusion::ParseSamplerKind(name, out)) {
+    return Status::Error(ErrorCode::kInvalidRequest,
+                         "unknown sampler '" + name + "' (ddpm|ddim|plms)");
+  }
+  return Status::Ok();
 }
 
 ServeSession::ServeSession(ModelSlot initial, ModelFactory factory,
@@ -58,6 +76,18 @@ std::future<ImputeResponse> ServeSession::Submit(ImputeRequest request) {
         "request window must be (" + std::to_string(config_.num_nodes) +
             ", " + std::to_string(config_.window_len) +
             ") with a matching observed mask");
+    std::lock_guard<std::mutex> guard(mu_);
+    ++stats_.rejected_invalid;
+    promise.set_value(std::move(response));
+    return future;
+  }
+  if (request.num_inference_steps.has_value() &&
+      *request.num_inference_steps < 0) {
+    ImputeResponse response;
+    response.status = Status::Error(
+        ErrorCode::kInvalidRequest,
+        "num_inference_steps must be >= 0 (0 = full schedule), got " +
+            std::to_string(*request.num_inference_steps));
     std::lock_guard<std::mutex> guard(mu_);
     ++stats_.rejected_invalid;
     promise.set_value(std::move(response));
@@ -132,15 +162,28 @@ void ServeSession::RunBatch(std::vector<Pending> batch) {
   int64_t start_nanos = clock_->NowNanos();
   std::vector<data::Sample> windows;
   std::vector<uint64_t> seeds;
+  std::vector<diffusion::ImputeOptions> options;
   windows.reserve(batch.size());
   seeds.reserve(batch.size());
+  options.reserve(batch.size());
   for (Pending& pending : batch) {
     windows.push_back(pending.request.window);
     seeds.push_back(pending.request.seed);
+    // Effective options: the session default with this request's sampler
+    // overrides applied. The coalescing layer groups like-configured
+    // requests; each response stays bit-identical to its solo run.
+    diffusion::ImputeOptions effective = config_.impute;
+    if (pending.request.sampler.has_value()) {
+      effective.sampler = *pending.request.sampler;
+    }
+    if (pending.request.num_inference_steps.has_value()) {
+      effective.num_inference_steps = *pending.request.num_inference_steps;
+    }
+    options.push_back(effective);
   }
   std::vector<diffusion::ImputationResult> results =
       diffusion::ImputeWindowsCoalesced(active_.predictor.get(), schedule_,
-                                        windows, seeds, config_.impute);
+                                        windows, seeds, options);
   int64_t end_nanos = clock_->NowNanos();
   for (size_t i = 0; i < batch.size(); ++i) {
     ImputeResponse response;

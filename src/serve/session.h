@@ -38,6 +38,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -74,8 +75,12 @@ struct ServeConfig {
   int64_t max_batch = 8;
   int64_t max_wait_nanos = 5'000'000;  // 5 ms
   int64_t queue_capacity = 64;
-  // Sampling settings shared by every request on the session — shared
-  // settings are what make windows coalescible into one model call.
+  // Sampling settings every request starts from. A request may override
+  // the sampler and step count (see ImputeRequest); requests with the same
+  // effective (sampler, steps, samples) coalesce into one model call, and
+  // mixed batches are partitioned by diffusion::ImputeWindowsCoalesced's
+  // per-request-options overload without giving up per-request
+  // bit-identity.
   diffusion::ImputeOptions impute;
   // false: no worker thread is started and the owner drives batches
   // explicitly with PumpOnce() — single-threaded, fully deterministic mode
@@ -83,17 +88,35 @@ struct ServeConfig {
   bool start_worker = true;
 
   // Defaults with the PRISTI_SERVE_MAX_BATCH / PRISTI_SERVE_MAX_WAIT_MS /
-  // PRISTI_SERVE_QUEUE_CAP knobs applied (num_nodes/window_len/impute are
-  // not env-controlled; callers fill them in afterwards).
+  // PRISTI_SERVE_QUEUE_CAP / PRISTI_SERVE_SAMPLER / PRISTI_SERVE_STEPS
+  // knobs applied (num_nodes/window_len and the remaining impute fields
+  // are not env-controlled; callers fill them in afterwards). An unknown
+  // PRISTI_SERVE_SAMPLER name is fatal — a typo must not silently serve
+  // with a different sampler.
   static ServeConfig FromEnv();
 };
+
+// Parses a sampler name ("ddpm" | "ddim" | "plms") into `*out`; unknown
+// names return the typed kInvalidRequest status (and leave `*out`
+// untouched) so protocol front ends reject them like any other malformed
+// request field.
+Status ParseSamplerName(const std::string& name, diffusion::SamplerKind* out);
 
 struct ImputeRequest {
   data::Sample window;  // values + observed mask, (N, L)
   // The request's determinism key: the response equals
-  // ImputeWindow(model, schedule, window, impute, Rng(seed)) bitwise.
-  // Callers wanting diverse draws submit distinct seeds.
+  // ImputeWindow(model, schedule, window, effective options, Rng(seed))
+  // bitwise, where the effective options are the session's
+  // ServeConfig::impute with the overrides below applied. Callers wanting
+  // diverse draws submit distinct seeds.
   uint64_t seed = 0;
+  // Per-request sampler overrides; unset fields keep the session default.
+  // A negative step count is rejected at admission with kInvalidRequest
+  // (0 means full schedule). Requests with different effective settings
+  // may share a batch — the session partitions them into coalescible
+  // groups without changing any request's bits.
+  std::optional<diffusion::SamplerKind> sampler;
+  std::optional<int64_t> num_inference_steps;
 };
 
 struct ImputeResponse {

@@ -70,7 +70,8 @@ TEST_F(ScaleTest, FullDisablesQuickAdaptations) {
   eval::DiffusionRunOptions options = DiffusionOptionsFor(task, scale);
   // Paper-exact training and sampling: uniform t, ancestral sampler.
   EXPECT_EQ(options.train.high_t_bias, 0.0);
-  EXPECT_FALSE(options.impute.ddim);
+  EXPECT_EQ(options.impute.sampler, diffusion::SamplerKind::kDdpm);
+  EXPECT_EQ(options.impute.num_inference_steps, 0);
   // Paper schedule bounds (Table II): beta_1 = 1e-4, beta_T = 0.2.
   EXPECT_FLOAT_EQ(options.beta_1, 1e-4f);
   EXPECT_FLOAT_EQ(options.beta_end, 0.2f);

@@ -245,7 +245,7 @@ TEST(DdimSampling, PreservesObservedAndIsDeterministicGivenSeed) {
   data::Sample sample = MakeSample2(data_rng);
   ZeroPredictor2 model;
   NoiseSchedule schedule = NoiseSchedule::Quadratic(20, 1e-4f, 0.2f);
-  ImputeOptions options{.num_samples = 3, .ddim = true, .ddim_stride = 1};
+  ImputeOptions options{.num_samples = 3, .sampler = SamplerKind::kDdim};
   Rng rng_a(5), rng_b(5);
   ImputationResult a = ImputeWindow(&model, schedule, sample, options, rng_a);
   ImputationResult b = ImputeWindow(&model, schedule, sample, options, rng_b);
@@ -257,17 +257,19 @@ TEST(DdimSampling, PreservesObservedAndIsDeterministicGivenSeed) {
 
 TEST(DdimSampling, StrideSkipsSteps) {
   // With eta = 0 and a zero predictor, DDIM shrinks the initial noise by
-  // sqrt(alpha_bar at the final step) deterministically; stride variants
+  // sqrt(alpha_bar at the final step) deterministically; few-step variants
   // must produce finite, bounded values and run with fewer model calls.
   Rng data_rng(42);
   data::Sample sample = MakeSample2(data_rng);
   ZeroPredictor2 model;
   NoiseSchedule schedule = NoiseSchedule::Quadratic(30, 1e-4f, 0.2f);
-  for (int64_t stride : {1, 2, 3, 5}) {
+  for (int64_t steps : {0, 15, 10, 6}) {
     Rng rng(7);
     ImputationResult result = ImputeWindow(
         &model, schedule, sample,
-        {.num_samples = 2, .ddim = true, .ddim_stride = stride}, rng);
+        {.num_samples = 2, .sampler = SamplerKind::kDdim,
+         .num_inference_steps = steps},
+        rng);
     for (const Tensor& s : result.samples) {
       for (int64_t i = 0; i < s.numel(); ++i) {
         EXPECT_TRUE(std::isfinite(s[i]));

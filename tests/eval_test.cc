@@ -223,10 +223,11 @@ TEST(DiffusionAdapter, ImputeOptionsSwitchable) {
                                  options, rng);
   model->Fit(task, rng);
   data::Sample window = data::ExtractSamples(task, "test").front();
-  diffusion::ImputeOptions ddim{.num_samples = 2, .ddim = true,
-                                .ddim_stride = 2};
+  diffusion::ImputeOptions ddim{.num_samples = 2,
+                                .sampler = diffusion::SamplerKind::kDdim,
+                                .num_inference_steps = 5};
   model->set_impute_options(ddim);
-  EXPECT_TRUE(model->impute_options().ddim);
+  EXPECT_EQ(model->impute_options().sampler, diffusion::SamplerKind::kDdim);
   tensor::Tensor out = model->Impute(window, rng);
   EXPECT_EQ(out.shape(), window.values.shape());
 }

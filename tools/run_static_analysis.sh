@@ -10,7 +10,11 @@
 #   3. sanitizers  — for each preset (default "address+undefined thread",
 #                    override with PRISTI_SANITIZE_CONFIGS), a dedicated
 #                    build tree with -DPRISTI_SANITIZE=<preset> running the
-#                    full ctest suite under instrumented binaries.
+#                    gating ctest suite under instrumented binaries
+#                    (`-LE bench`: the perf sweeps measure throughput and
+#                    the parity sweep trains a model — their code paths
+#                    are exercised by the gating suites, and a training
+#                    run under TSan would dominate the matrix runtime).
 #                    RelWithDebInfo keeps optimized codegen (so data races
 #                    in the batch-parallel kernels still manifest) while
 #                    retaining debug info; PRISTI_DEBUG_CHECKS=ON keeps
@@ -110,7 +114,7 @@ for mode in $configs; do
         UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
         TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:die_after_fork=0}" \
         PRISTI_THREADS="${PRISTI_THREADS:-4}" \
-        ctest --output-on-failure -j "$jobs"); then
+        ctest --output-on-failure -j "$jobs" -LE bench); then
     echo "==== [$mode] TESTS FAILED ===="
     status=1
     continue
