@@ -81,7 +81,16 @@ std::vector<std::unique_ptr<Imputer>> MakeAllMethods(
 std::vector<std::unique_ptr<Imputer>> MakeDeepMethods(
     const data::ImputationTask& task, const Scale& scale, Rng& rng);
 
-// Writes the table text to stdout and its CSV next to the binary.
+// Resolves where a bench artifact (CSV table, JSON report) lands: inside
+// $PRISTI_BENCH_DIR when that is set, else inside `fallback_dir` ("." means
+// the working directory). The chosen directory is created if missing. Every
+// bench/table writer in the tree routes through this one helper so a CI
+// runner can redirect the whole suite with a single env knob.
+std::string ArtifactPath(const std::string& filename,
+                         const std::string& fallback_dir);
+
+// Writes the table text to stdout and its CSV to
+// ArtifactPath(experiment_id + ".csv", "results").
 void EmitTable(const std::string& experiment_id, const TablePrinter& table);
 
 }  // namespace pristi::bench

@@ -1,5 +1,7 @@
 #include "autograd/variable.h"
 
+#include <memory>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -11,6 +13,13 @@ namespace {
 // Depth of nested NoGradGuards on this thread; ops record the tape only at
 // depth zero.
 thread_local int t_no_grad_depth = 0;
+
+// The active GradCaptureScope's node -> buffer table for this thread (null
+// when no scope is alive). Thread-local, so concurrent backward sweeps each
+// see only their own capture table.
+using CaptureMap =
+    std::unordered_map<const internal::Node*, tensor::Tensor*>;
+thread_local std::unique_ptr<const CaptureMap> t_capture;
 
 }  // namespace
 
@@ -27,6 +36,26 @@ void Node::AccumulateGrad(const Tensor& g) {
       << "gradient shape " << tensor::ShapeToString(g.shape())
       << " does not match value shape "
       << tensor::ShapeToString(value.shape());
+  if (t_capture != nullptr) {
+    auto it = t_capture->find(this);
+    if (it != t_capture->end()) {
+      // Captured leaf: accumulate into the scope's private buffer instead
+      // of the (shared) node. Lazy allocation doubles as the "touched by
+      // this sweep" marker.
+      Tensor* sink = it->second;
+      if (sink->numel() != value.numel()) {
+        *sink = Tensor::Zeros(value.shape());
+      }
+      sink->AddInPlace(g);
+      return;
+    }
+    if (!requires_grad && backward == nullptr) {
+      // Unregistered pure constant (e.g. a support matrix shared by every
+      // concurrent sweep): its gradient is never consumed, and writing the
+      // shared node from a capture scope would race with other workers.
+      return;
+    }
+  }
   if (grad.numel() != value.numel()) {
     grad = Tensor::Zeros(value.shape());
   }
@@ -34,6 +63,37 @@ void Node::AccumulateGrad(const Tensor& g) {
 }
 
 }  // namespace internal
+
+namespace {
+
+// Builds the node -> buffer table a scope installs. Kept out of the class so
+// variable.h does not need <unordered_map>.
+std::unique_ptr<const CaptureMap> MakeCapture(
+    const std::vector<Variable>& targets, std::vector<Tensor>* buffers) {
+  PRISTI_CHECK(buffers != nullptr);
+  PRISTI_CHECK_EQ(targets.size(), buffers->size())
+      << "GradCaptureScope: one buffer per target variable";
+  PRISTI_CHECK(t_capture == nullptr)
+      << "GradCaptureScope does not nest: a scope is already active on this "
+         "thread";
+  auto capture = std::make_unique<CaptureMap>();
+  capture->reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    PRISTI_CHECK(targets[i].defined())
+        << "GradCaptureScope target " << i << " is undefined";
+    (*capture)[targets[i].node().get()] = &(*buffers)[i];
+  }
+  return capture;
+}
+
+}  // namespace
+
+GradCaptureScope::GradCaptureScope(const std::vector<Variable>& targets,
+                                   std::vector<Tensor>* buffers) {
+  t_capture = MakeCapture(targets, buffers);
+}
+
+GradCaptureScope::~GradCaptureScope() { t_capture.reset(); }
 
 Variable::Variable(const Tensor& value, bool requires_grad)
     : node_(std::make_shared<internal::Node>()) {

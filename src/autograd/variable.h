@@ -45,6 +45,39 @@ class NoGradGuard {
 // True when ops record the tape (no NoGradGuard alive on this thread).
 bool GradModeEnabled();
 
+class Variable;
+
+// ---- Gradient capture ------------------------------------------------------
+// RAII scope that redirects leaf-gradient accumulation on the current thread
+// into caller-owned buffers, which is what lets several backward sweeps over
+// the SAME parameters run concurrently (the shard-parallel trainer): each
+// worker opens a scope over the model's parameters and its sweep writes into
+// the worker's private buffers instead of the shared `Node::grad` fields.
+//
+// While a scope is alive on this thread:
+//   * AccumulateGrad on a registered node adds into the paired buffer
+//     (allocated zero-filled on first touch, so an empty buffer afterwards
+//     means "this sweep never reached that parameter");
+//   * AccumulateGrad on an UNREGISTERED pure constant — a leaf with
+//     requires_grad == false, e.g. the graph-conv support matrices shared by
+//     every worker — is dropped: its gradient is never read, and the
+//     unsynchronized write into the shared node is exactly the data race the
+//     scope exists to prevent;
+//   * interior nodes (those with a backward closure) accumulate normally —
+//     they are private to the sweep that built them.
+//
+// Scopes do not nest (checked) and must be destroyed on the thread that
+// created them. `targets` and `buffers` must stay alive for the scope's
+// lifetime and have equal lengths.
+class GradCaptureScope {
+ public:
+  GradCaptureScope(const std::vector<Variable>& targets,
+                   std::vector<Tensor>* buffers);
+  ~GradCaptureScope();
+  GradCaptureScope(const GradCaptureScope&) = delete;
+  GradCaptureScope& operator=(const GradCaptureScope&) = delete;
+};
+
 namespace internal {
 
 // One node of the autodiff tape.

@@ -68,17 +68,28 @@
 //          (diffusion::ImputeOptions::num_inference_steps); 0 = full
 //          schedule.
 //
+// Training:
+//   PRISTI_TRAIN_SHARDS  0 — default shard count for `pristi_cli train`
+//          when --shards is not given (diffusion::TrainOptions::num_shards);
+//          0 keeps the classic single-stream loop, K >= 1 routes training
+//          through the shard-parallel engine (diffusion/sharded_train.h),
+//          bit-identical for any K at any thread count.
+//
 // Test and CI harness:
 //   PRISTI_REGEN_GOLDEN  unset — when set, golden-file tests
-//          (serialize_test, sampler_equivalence_test) rewrite their
-//          checked-in golden artifacts instead of comparing against them.
-//   PRISTI_BENCH_DIR  unset — when set, bench-flavored tests
-//          (bench_scale_test, kernel_bench_test, sampler_parity_test)
-//          write their JSON reports into this directory.
+//          (serialize_test, sharded_train_test, sampler_equivalence_test)
+//          rewrite their checked-in golden artifacts instead of comparing
+//          against them.
+//   PRISTI_BENCH_DIR  unset — when set, bench binaries and bench-flavored
+//          tests route their CSV/JSON reports into this directory through
+//          bench::ArtifactPath (bench/bench_common.h) instead of their
+//          default output locations.
 //   PRISTI_SANITIZE_CONFIGS  "address+undefined thread" — which sanitizer
 //          configs tools/run_static_analysis.sh builds and tests.
 //   PRISTI_NATIVE_BITEQ  0 — 1 adds the -march=native bit-identity leg to
 //          tools/run_static_analysis.sh (requires matching hardware).
+//   PRISTI_SHARD_BITEQ  1 — 0 skips the 1-shard-vs-4-shard training
+//          bit-identity leg of tools/run_static_analysis.sh.
 //
 // pristi-env-registry-end
 

@@ -67,7 +67,9 @@ SpatioTemporalDataset GenerateSynthetic(const SyntheticConfig& config,
   dataset.num_nodes = config.num_nodes;
   dataset.num_steps = config.num_steps;
   dataset.steps_per_day = config.steps_per_day;
-  dataset.graph = graph::BuildSensorGraph(config.num_nodes, rng);
+  dataset.graph =
+      graph::BuildSensorGraph(config.num_nodes, rng, config.graph_clusters,
+                              config.graph_kernel_threshold);
 
   int64_t n = config.num_nodes;
   int64_t t_steps = config.num_steps;
@@ -169,6 +171,22 @@ SyntheticConfig MetrLaLikeConfig(int64_t num_nodes, int64_t num_steps) {
   config.original_block_share = 0.5;
   config.original_block_min_len = 6;
   config.original_block_max_len = 36;
+  return config;
+}
+
+SyntheticConfig LargeGraphLikeConfig(int64_t num_nodes, int64_t num_steps) {
+  SyntheticConfig config = Aqi36LikeConfig(num_nodes, num_steps);
+  config.name = "LARGE-sparse-like";
+  // One cluster per ~32 sensors plus an aggressive kernel cutoff: the
+  // adaptive-sigma kernel gives cross-cluster pairs weights around
+  // exp(-1) ~ 0.37, so a 0.5 threshold prunes them and adjacency nnz grows
+  // ~ linearly in n instead of n^2 (and GenerateSynthetic's latent
+  // diffusion stays O(T * nnz)).
+  config.graph_clusters = std::max<int64_t>(num_nodes / 32, 8);
+  config.graph_kernel_threshold = 0.5;
+  // Short feeds with lighter outage structure: runtime should scale with
+  // the node axis, which is what this preset exists to exercise.
+  config.original_block_max_len = 24;
   return config;
 }
 

@@ -55,6 +55,14 @@ struct SyntheticConfig {
   double original_block_share = 0.5;
   int64_t original_block_min_len = 4;
   int64_t original_block_max_len = 24;
+  // Sensor-graph shape knobs, forwarded to graph::BuildSensorGraph: how
+  // many spatial clusters the sensors scatter into, and the Gaussian-kernel
+  // cutoff below which an edge weight is zeroed. The kernel's sigma adapts
+  // to the distance distribution, so the threshold (not the cluster count)
+  // is the lever that actually prunes cross-cluster edges; the large-graph
+  // preset raises it to keep adjacency nnz ~ O(n).
+  int64_t graph_clusters = 4;
+  double graph_kernel_threshold = 0.1;
 };
 
 // A complete synthetic feed: ground truth everywhere plus the observed mask
@@ -82,6 +90,13 @@ SyntheticConfig MetrLaLikeConfig(int64_t num_nodes = 48,
                                  int64_t num_steps = 2016);
 SyntheticConfig PemsBayLikeConfig(int64_t num_nodes = 64,
                                   int64_t num_steps = 2016);
+// Large sparse sensor network (no real-data counterpart; a scaling target):
+// >= 1000 nodes scattered over ~n/32 clusters, so the thresholded kernel
+// adjacency stays sparse and GraphConv's CSR path is the sensible route
+// (core::PristiConfig::use_sparse_mpnn). Short by default — the point is
+// node count, not sequence length.
+SyntheticConfig LargeGraphLikeConfig(int64_t num_nodes = 1024,
+                                     int64_t num_steps = 384);
 
 }  // namespace pristi::data
 

@@ -14,6 +14,7 @@
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "common/parallel.h"
+#include "diffusion/sharded_train.h"
 #include "nn/ema.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
@@ -64,10 +65,15 @@ std::vector<double> ScheduleBetas(const NoiseSchedule& schedule) {
 
 // Writes one "pristi-training" checkpoint file atomically. `epochs_done` is
 // the number of completed epochs (== the index of the next epoch to run).
+// `sharded` records the training mode (TrainOptions::num_shards > 0) — the
+// shard COUNT is deliberately not stored (any K produces the same bits, so
+// a resume may pick a different one), but the single-stream and sharded
+// trajectories differ, so crossing modes on resume is a config mismatch.
 serialize::Status SaveTrainingCheckpoint(
     const std::string& path, nn::Module& module, const nn::Adam& optimizer,
     const nn::EmaWeights* ema, const Rng& rng, const NoiseSchedule& schedule,
-    int64_t epochs_done, const std::vector<double>& epoch_losses) {
+    int64_t epochs_done, const std::vector<double>& epoch_losses,
+    bool sharded) {
   return serialize::WriteFileAtomic(path, [&](std::ostream& out) {
     serialize::CheckpointWriter writer(out);
     writer.AddString("meta.kind", "pristi-training");
@@ -77,6 +83,7 @@ serialize::Status SaveTrainingCheckpoint(
     serialize::AppendRng(rng, &writer);
     writer.AddF64List("schedule.beta", ScheduleBetas(schedule));
     writer.AddI64("train.epoch", epochs_done);
+    writer.AddI64("train.sharded", sharded ? 1 : 0);
     writer.AddF64List("train.losses", epoch_losses);
     if (!writer.Finish()) {
       return serialize::Status::Error(serialize::ErrorCode::kIoError,
@@ -91,7 +98,8 @@ serialize::Status SaveTrainingCheckpoint(
 serialize::Status LoadTrainingCheckpoint(
     const std::string& path, nn::Module& module, nn::Adam* optimizer,
     nn::EmaWeights* ema, Rng* rng, const NoiseSchedule& schedule,
-    int64_t* epochs_done, std::vector<double>* epoch_losses) {
+    bool sharded, int64_t* epochs_done,
+    std::vector<double>* epoch_losses) {
   serialize::CheckpointView view;
   serialize::Status status = serialize::ParseCheckpointFile(path, &view);
   if (!status.ok()) return status;
@@ -122,6 +130,23 @@ serialize::Status LoadTrainingCheckpoint(
         "checkpoint carries EMA shadows but the run has ema_decay = 0");
   }
   if (!(status = serialize::LoadRng(rng, view)).ok()) return status;
+  // Checkpoints predating the sharded trainer carry no mode record; they
+  // were all single-stream.
+  int64_t stored_sharded = 0;
+  if (view.Find("train.sharded") != nullptr) {
+    if (!(status = view.GetI64("train.sharded", &stored_sharded)).ok()) {
+      return status;
+    }
+  }
+  if ((stored_sharded != 0) != sharded) {
+    return serialize::Status::Error(
+        serialize::ErrorCode::kConfigMismatch,
+        std::string("checkpoint was written by a ") +
+            (stored_sharded != 0 ? "sharded" : "single-stream") +
+            " training run; resuming in the other mode would silently "
+            "follow a different trajectory (set TrainOptions::num_shards "
+            "to match)");
+  }
   if (!(status = view.GetI64("train.epoch", epochs_done)).ok()) return status;
   if (!(status = view.GetF64List("train.losses", epoch_losses)).ok()) {
     return status;
@@ -143,6 +168,8 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
                                         const TrainOptions& options,
                                         Rng& rng) {
   PRISTI_CHECK(model != nullptr);
+  PRISTI_CHECK_GE(options.num_shards, 0)
+      << "TrainOptions::num_shards: 0 = single-stream, K >= 1 = sharded";
   ModelAccessGuard access_guard(model, "TrainDiffusionModel");
   std::vector<data::Sample> samples = data::ExtractSamples(task, "train");
   PRISTI_CHECK(!samples.empty()) << "no training windows";
@@ -170,7 +197,8 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
   if (!options.resume_from.empty()) {
     serialize::Status status = LoadTrainingCheckpoint(
         options.resume_from, *module, &optimizer,
-        ema ? &*ema : nullptr, &rng, schedule, &start_epoch, &epoch_losses);
+        ema ? &*ema : nullptr, &rng, schedule, options.num_shards > 0,
+        &start_epoch, &epoch_losses);
     PRISTI_CHECK(status.ok())
         << "cannot resume from '" << options.resume_from
         << "': " << status.ToString();
@@ -185,67 +213,64 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
   }
 
   for (int64_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
-    std::vector<int64_t> order = rng.Permutation(
-        static_cast<int64_t>(samples.size()));
-    double loss_sum = 0.0;
-    int64_t step_count = 0;
-    for (size_t batch_begin = 0; batch_begin < order.size();
-         batch_begin += static_cast<size_t>(options.batch_size)) {
-      size_t batch_end = std::min(
-          order.size(), batch_begin + static_cast<size_t>(options.batch_size));
-      std::vector<Tensor> cond_values, cond_masks, interpolated, target_masks,
-          x0_parts;
-      for (size_t i = batch_begin; i < batch_end; ++i) {
-        const data::Sample& sample =
-            samples[static_cast<size_t>(order[i])];
-        // Historical-pattern option: borrow another window's observed mask.
-        const Tensor* historical = nullptr;
-        Tensor historical_mask;
-        if (options.mask_strategy ==
-            data::MaskStrategy::kHybridHistorical) {
-          const data::Sample& other = samples[static_cast<size_t>(
-              rng.UniformInt(0, static_cast<int64_t>(samples.size()) - 1))];
-          historical_mask = other.observed;
-          historical = &historical_mask;
+    double mean_loss;
+    if (options.num_shards > 0) {
+      mean_loss = RunShardedEpoch(model, schedule, samples, options,
+                                  &optimizer, ema ? &*ema : nullptr, rng);
+    } else {
+      // Classic single-stream epoch: one stacked batch per optimizer step,
+      // all draws from the shared epoch RNG in window order. The window
+      // build and the forward/backward are the extracted units the sharded
+      // engine also runs; passing denom = max(1, SumAll(mask)) makes
+      // ShardStep reproduce ag::MaskedMse bit-for-bit, so this path's
+      // arithmetic is unchanged (the serialize_test golden pins it).
+      std::vector<int64_t> order = rng.Permutation(
+          static_cast<int64_t>(samples.size()));
+      double loss_sum = 0.0;
+      int64_t step_count = 0;
+      for (size_t batch_begin = 0; batch_begin < order.size();
+           batch_begin += static_cast<size_t>(options.batch_size)) {
+        size_t batch_end = std::min(
+            order.size(),
+            batch_begin + static_cast<size_t>(options.batch_size));
+        std::vector<Tensor> cond_values, cond_masks, interpolated,
+            target_masks, x0_parts;
+        for (size_t i = batch_begin; i < batch_end; ++i) {
+          WindowExample example = BuildWindowExample(
+              samples, order[i], options.mask_strategy, rng);
+          cond_masks.push_back(std::move(example.cond_mask));
+          cond_values.push_back(std::move(example.cond_values));
+          interpolated.push_back(std::move(example.interpolated));
+          target_masks.push_back(std::move(example.target_mask));
+          x0_parts.push_back(std::move(example.x0));
         }
-        Tensor target = data::ApplyMaskStrategy(
-            sample.observed, options.mask_strategy, rng, historical);
-        Tensor cond_mask = data::MaskMinus(sample.observed, target);
-        cond_masks.push_back(cond_mask);
-        cond_values.push_back(t::Mul(sample.values, cond_mask));
-        interpolated.push_back(
-            data::LinearInterpolate(sample.values, cond_mask));
-        target_masks.push_back(target);
-        x0_parts.push_back(t::Mul(sample.values, target));
+        DiffusionBatch batch;
+        batch.cond_values = t::Stack(cond_values);
+        batch.cond_mask = t::Stack(cond_masks);
+        batch.interpolated = t::Stack(interpolated);
+        batch.target_mask = t::Stack(target_masks);
+        Tensor x0 = t::Stack(x0_parts);
+
+        int64_t step =
+            (options.high_t_bias > 0 && rng.Bernoulli(options.high_t_bias))
+                ? rng.UniformInt(schedule.num_steps() / 2,
+                                 schedule.num_steps())
+                : rng.UniformInt(1, schedule.num_steps());
+        Tensor eps = Tensor::Randn(x0.shape(), rng);
+        Tensor noisy = t::Mul(QSample(x0, eps, schedule, step),
+                              batch.target_mask);
+
+        model->ZeroGrad();
+        float denom = std::max(1.0f, t::SumAll(batch.target_mask));
+        loss_sum += ShardStep(model, /*params=*/{}, noisy, batch,
+                              t::Mul(eps, batch.target_mask), step, denom,
+                              /*capture=*/nullptr);
+        optimizer.Step();
+        if (ema) ema->Update();
+        ++step_count;
       }
-      DiffusionBatch batch;
-      batch.cond_values = t::Stack(cond_values);
-      batch.cond_mask = t::Stack(cond_masks);
-      batch.interpolated = t::Stack(interpolated);
-      batch.target_mask = t::Stack(target_masks);
-      Tensor x0 = t::Stack(x0_parts);
-
-      int64_t step =
-          (options.high_t_bias > 0 && rng.Bernoulli(options.high_t_bias))
-              ? rng.UniformInt(schedule.num_steps() / 2,
-                               schedule.num_steps())
-              : rng.UniformInt(1, schedule.num_steps());
-      Tensor eps = Tensor::Randn(x0.shape(), rng);
-      Tensor noisy = t::Mul(QSample(x0, eps, schedule, step),
-                            batch.target_mask);
-
-      model->ZeroGrad();
-      Variable eps_hat = model->PredictNoise(noisy, batch, step);
-      Variable loss =
-          ag::MaskedMse(eps_hat, t::Mul(eps, batch.target_mask),
-                        batch.target_mask);
-      loss.Backward();
-      optimizer.Step();
-      if (ema) ema->Update();
-      loss_sum += loss.value()[0];
-      ++step_count;
+      mean_loss = loss_sum / std::max<int64_t>(step_count, 1);
     }
-    double mean_loss = loss_sum / std::max<int64_t>(step_count, 1);
     epoch_losses.push_back(mean_loss);
     scheduler.Step(epoch + 1);
     if (options.on_epoch) options.on_epoch(epoch, mean_loss);
@@ -259,7 +284,7 @@ std::vector<double> TrainDiffusionModel(ConditionalNoisePredictor* model,
           options.checkpoint_dir, options.checkpoint_prefix, done);
       serialize::Status status = SaveTrainingCheckpoint(
           path, *module, optimizer, ema ? &*ema : nullptr, rng, schedule,
-          done, epoch_losses);
+          done, epoch_losses, options.num_shards > 0);
       PRISTI_CHECK(status.ok())
           << "cannot write checkpoint '" << path << "': " << status.ToString();
       status = serialize::PruneCheckpoints(options.checkpoint_dir,

@@ -67,6 +67,19 @@ struct TrainOptions {
   // Optional per-epoch callback (epoch, mean loss).
   std::function<void(int64_t, double)> on_epoch;
 
+  // ---- Shard-parallel training --------------------------------------------
+  // 0 (the default) trains single-stream: one stacked forward/backward per
+  // optimizer step, the classic loop. K >= 1 routes every optimizer step
+  // through the shard-parallel engine (diffusion/sharded_train.h): the
+  // batch's windows become independent leaves partitioned across K logical
+  // shards on the persistent pool, with per-leaf RNG streams and gradients
+  // merged by a fixed-topology tree all-reduce. A sharded run's loss trace,
+  // parameters and checkpoints are BIT-IDENTICAL for any K >= 1 at any
+  // thread count (K only changes scheduling); the two modes are two
+  // different (both deterministic) training trajectories, and a checkpoint
+  // records which mode wrote it so a resume cannot silently cross modes.
+  int64_t num_shards = 0;
+
   // ---- EMA ----------------------------------------------------------------
   // When > 0, maintains an exponential moving average of the weights
   // (updated after every optimizer step); the EMA shadows are part of the

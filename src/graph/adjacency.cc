@@ -89,12 +89,14 @@ Tensor GaussianKernelAdjacency(const Tensor& distances, double sigma,
   return adj;
 }
 
-SensorGraph BuildSensorGraph(int64_t n, Rng& rng) {
+SensorGraph BuildSensorGraph(int64_t n, Rng& rng, int64_t num_clusters,
+                             double kernel_threshold) {
   SensorGraph graph;
   graph.num_nodes = n;
-  graph.coords = GenerateSensorLocations(n, rng);
+  graph.coords = GenerateSensorLocations(n, rng, num_clusters);
   graph.distances = PairwiseDistances(graph.coords);
-  graph.adjacency = GaussianKernelAdjacency(graph.distances);
+  graph.adjacency =
+      GaussianKernelAdjacency(graph.distances, -1.0, kernel_threshold);
   return graph;
 }
 

@@ -42,8 +42,15 @@ Tensor PairwiseDistances(const Tensor& coords);
 Tensor GaussianKernelAdjacency(const Tensor& distances, double sigma = -1.0,
                                double threshold = 0.1);
 
-// Builds the full sensor graph for `n` nodes.
-SensorGraph BuildSensorGraph(int64_t n, Rng& rng);
+// Builds the full sensor graph for `n` nodes. `num_clusters` is forwarded
+// to GenerateSensorLocations and `kernel_threshold` to
+// GaussianKernelAdjacency. Because the kernel's sigma adapts to the
+// distance distribution, cluster count alone barely moves the edge density;
+// raising the threshold toward exp(-1) ~ 0.37 is what actually prunes
+// cross-cluster pairs. The large-graph presets combine many clusters with a
+// high threshold to keep adjacency nnz ~ O(n) (CSR-friendly).
+SensorGraph BuildSensorGraph(int64_t n, Rng& rng, int64_t num_clusters = 4,
+                             double kernel_threshold = 0.1);
 
 // Row-normalized transition matrix D^-1 A (rows summing to 1 where a node
 // has any neighbour). The "bidirectional" supports of Graph WaveNet are

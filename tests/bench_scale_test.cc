@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "bench_common.h"
+#include "bench_common.h"
 #include "common/env.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
@@ -123,10 +124,8 @@ TEST(SamplerBench, SamplesPerSecondSweep) {
   // otherwise to a per-test temp dir (never the CWD, which may be the
   // source tree).
   pristi::testing::TestTempDir tmp;
-  std::string bench_dir = pristi::GetEnvOr("PRISTI_BENCH_DIR", "");
-  std::string json_path = !bench_dir.empty()
-                              ? bench_dir + "/BENCH_sampler.json"
-                              : tmp.File("BENCH_sampler.json");
+  std::string json_path =
+      ArtifactPath("BENCH_sampler.json", tmp.path().string());
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   ASSERT_NE(json, nullptr);
   std::fprintf(json,

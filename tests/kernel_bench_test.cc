@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bench_common.h"
 #include "common/env.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -76,10 +77,8 @@ double TimePerCall(const Fn& fn) {
 
 TEST(KernelBench, GemmGflopsOnPresetShapes) {
   pristi::testing::TestTempDir tmp;
-  std::string bench_dir = pristi::GetEnvOr("PRISTI_BENCH_DIR", "");
-  std::string json_path = !bench_dir.empty()
-                              ? bench_dir + "/BENCH_kernels.json"
-                              : tmp.File("BENCH_kernels.json");
+  std::string json_path =
+      ::pristi::bench::ArtifactPath("BENCH_kernels.json", tmp.path().string());
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   ASSERT_NE(json, nullptr);
   std::fprintf(json,

@@ -27,6 +27,7 @@
 #include <gtest/gtest.h>
 
 #include "bench_common.h"
+#include "bench_common.h"
 #include "common/env.h"
 #include "test_tmpdir.h"
 
@@ -108,10 +109,8 @@ TEST(SamplerParity, PlmsFewStepWithinFivePercentOfDdpm100) {
 
   // JSON artifact in the BENCH_* family.
   pristi::testing::TestTempDir tmp;
-  std::string bench_dir = pristi::GetEnvOr("PRISTI_BENCH_DIR", "");
-  std::string json_path = !bench_dir.empty()
-                              ? bench_dir + "/BENCH_sampler_plms.json"
-                              : tmp.File("BENCH_sampler_plms.json");
+  std::string json_path =
+      ArtifactPath("BENCH_sampler_plms.json", tmp.path().string());
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   ASSERT_NE(json, nullptr);
   std::fprintf(json,

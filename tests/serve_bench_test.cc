@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bench_common.h"
 #include "common/env.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -144,10 +145,8 @@ LevelResult RunLevel(int64_t concurrency) {
 
 TEST(ServeBench, LatencyThroughputAcrossConcurrencyLevels) {
   pristi::testing::TestTempDir tmp;
-  std::string bench_dir = pristi::GetEnvOr("PRISTI_BENCH_DIR", "");
-  std::string json_path = !bench_dir.empty()
-                              ? bench_dir + "/BENCH_serve.json"
-                              : tmp.File("BENCH_serve.json");
+  std::string json_path =
+      ::pristi::bench::ArtifactPath("BENCH_serve.json", tmp.path().string());
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   ASSERT_NE(json, nullptr);
   std::fprintf(json,

@@ -24,6 +24,7 @@
 #include "baselines/rnn.h"
 #include "baselines/simple.h"
 #include "baselines/stmvl.h"
+#include "common/env.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "data/io.h"
@@ -34,6 +35,28 @@
 namespace pristi {
 namespace {
 
+// Preset name -> generator config; shared by `generate` and the on-the-fly
+// fallback of every data-consuming subcommand.
+data::SyntheticConfig PresetConfig(const std::string& preset, int64_t nodes,
+                                   int64_t steps) {
+  if (preset == "aqi") return data::Aqi36LikeConfig(nodes, steps);
+  if (preset == "metr") return data::MetrLaLikeConfig(nodes, steps);
+  if (preset == "pems") return data::PemsBayLikeConfig(nodes, steps);
+  if (preset == "large") return data::LargeGraphLikeConfig(nodes, steps);
+  PRISTI_LOG_FATAL << "unknown --preset " << preset
+                   << " (aqi|metr|pems|large)";
+  return {};
+}
+
+// Per-preset default sizes: the large preset exists to exercise the node
+// axis, the classic three default to quick CI-scale shapes.
+int64_t DefaultPresetNodes(const std::string& preset) {
+  return preset == "large" ? 1024 : 16;
+}
+int64_t DefaultPresetSteps(const std::string& preset) {
+  return preset == "large" ? 384 : 720;
+}
+
 data::SpatioTemporalDataset LoadOrGenerate(const Flags& flags, Rng& rng) {
   std::string path = flags.GetString("data");
   if (!path.empty()) {
@@ -41,8 +64,15 @@ data::SpatioTemporalDataset LoadOrGenerate(const Flags& flags, Rng& rng) {
     CHECK_GT(dataset.num_steps, 0) << "failed to load " << path;
     return dataset;
   }
-  PRISTI_LOG_WARNING << "--data not given; generating a default dataset";
-  return data::GenerateSynthetic(data::Aqi36LikeConfig(16, 720), rng);
+  // No --data: generate in place. --gen-steps (not --steps, which already
+  // means kept reverse steps on these subcommands) controls the length.
+  std::string preset = flags.GetString("preset", "aqi");
+  int64_t nodes = flags.GetInt("nodes", DefaultPresetNodes(preset));
+  int64_t steps = flags.GetInt("gen-steps", DefaultPresetSteps(preset));
+  PRISTI_LOG_WARNING << "--data not given; generating a '" << preset
+                     << "' dataset (" << nodes << " nodes x " << steps
+                     << " steps)";
+  return data::GenerateSynthetic(PresetConfig(preset, nodes, steps), rng);
 }
 
 data::MissingPattern PatternFromFlag(const std::string& name) {
@@ -70,6 +100,11 @@ core::PristiConfig ModelConfig(const Flags& flags,
   config.temporal_emb_dim = flags.GetInt("temporal-emb", 32);
   config.node_emb_dim = flags.GetInt("node-emb", 16);
   config.adaptive_rank = flags.GetInt("adaptive-rank", 6);
+  // CSR message passing: explicitly --sparse-mpnn=1/0, else on by default
+  // once the graph is big enough that the thresholded adjacency is sparse
+  // in practice (the large preset's whole point).
+  config.use_sparse_mpnn =
+      flags.GetInt("sparse-mpnn", task.dataset.num_nodes >= 256 ? 1 : 0) != 0;
   return config;
 }
 
@@ -92,6 +127,10 @@ eval::DiffusionRunOptions RunOptions(const Flags& flags,
   options.impute.num_inference_steps = flags.GetInt("steps", 10);
   options.train.ema_decay =
       static_cast<float>(flags.GetDouble("ema-decay", 0.0));
+  // Shard-parallel training (diffusion/sharded_train.h): --shards=K, env
+  // fallback PRISTI_TRAIN_SHARDS, 0 = classic single-stream loop.
+  options.train.num_shards =
+      flags.GetInt("shards", GetEnvIntOr("PRISTI_TRAIN_SHARDS", 0));
   options.train.checkpoint_dir = flags.GetString("checkpoint-dir");
   options.train.checkpoint_every = flags.GetInt("checkpoint-every", 1);
   options.train.checkpoint_keep_last = flags.GetInt("keep-last", 3);
@@ -123,19 +162,10 @@ data::ImputationTask MakeTaskFromFlags(const Flags& flags, Rng& rng) {
 int CmdGenerate(const Flags& flags) {
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
   std::string preset = flags.GetString("preset", "aqi");
-  int64_t nodes = flags.GetInt("nodes", 16);
-  int64_t steps = flags.GetInt("steps", 720);
-  data::SyntheticConfig config;
-  if (preset == "aqi") {
-    config = data::Aqi36LikeConfig(nodes, steps);
-  } else if (preset == "metr") {
-    config = data::MetrLaLikeConfig(nodes, steps);
-  } else if (preset == "pems") {
-    config = data::PemsBayLikeConfig(nodes, steps);
-  } else {
-    PRISTI_LOG_FATAL << "unknown --preset " << preset << " (aqi|metr|pems)";
-  }
-  auto dataset = data::GenerateSynthetic(config, rng);
+  int64_t nodes = flags.GetInt("nodes", DefaultPresetNodes(preset));
+  int64_t steps = flags.GetInt("steps", DefaultPresetSteps(preset));
+  auto dataset =
+      data::GenerateSynthetic(PresetConfig(preset, nodes, steps), rng);
   std::string out = flags.GetString("out", "dataset.bin");
   CHECK(data::WriteBinaryDataset(dataset, out)) << "write failed: " << out;
   std::printf("wrote %s: %lld nodes x %lld steps (%s)\n", out.c_str(),
@@ -377,11 +407,15 @@ int Usage() {
   std::printf(
       "usage: pristi_cli "
       "<generate|train|impute|evaluate|save|load|inspect> [--flags]\n"
-      "  generate --preset=aqi|metr|pems --nodes=N --steps=T --out=F.bin\n"
+      "  generate --preset=aqi|metr|pems|large --nodes=N --steps=T "
+      "--out=F.bin\n"
       "  train    --data=F.bin --pattern=point|block|failure --epochs=E\n"
-      "           --model-out=F.ckpt [--checkpoint-dir=D]\n"
+      "           --model-out=F.ckpt [--shards=K] [--checkpoint-dir=D]\n"
       "           [--checkpoint-every=K] [--keep-last=K] [--ema-decay=D]\n"
-      "           [--resume=D/ckpt-N.ckpt]\n"
+      "           [--resume=D/ckpt-N.ckpt] [--sparse-mpnn=0|1]\n"
+      "           (without --data: --preset --nodes --gen-steps generate\n"
+      "           in place; --shards=K trains shard-parallel, bit-identical\n"
+      "           for any K, env fallback PRISTI_TRAIN_SHARDS)\n"
       "  impute   --data=F.bin --pattern=... --model=F.ckpt --out=F.csv\n"
       "           [--sampler=ddpm|ddim|plms] [--steps=K]  (K kept reverse\n"
       "           steps, 0 = full schedule; default ddim, 10)\n"

@@ -140,6 +140,35 @@ if [ "${PRISTI_NATIVE_BITEQ:-1}" != "0" ]; then
   fi
 fi
 
+# ---- leg 5: shard-parallel training bit-identity ---------------------------
+# Trains the same seeded task twice through pristi_cli — 1 shard on 1 thread
+# vs 4 shards on 4 threads — and byte-compares the final model checkpoints.
+# This is the sharded engine's contract (diffusion/sharded_train.h) enforced
+# end-to-end through the CLI, the env knob and the serializer. Skip with
+# PRISTI_SHARD_BITEQ=0.
+if [ "${PRISTI_SHARD_BITEQ:-1}" != "0" ]; then
+  build_dir="$repo_root/build-shard-biteq"
+  echo "==== [shard-biteq] configure -> $build_dir ===="
+  shard_tmp="$build_dir/shard-biteq-out"
+  if cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+      && cmake --build "$build_dir" -j "$jobs" --target pristi_cli \
+      && mkdir -p "$shard_tmp" \
+      && PRISTI_THREADS=1 PRISTI_TRAIN_SHARDS=1 "$build_dir/tools/pristi_cli" \
+          train --preset=aqi --nodes=12 --gen-steps=120 --window=8 \
+          --stride=8 --epochs=2 --batch=4 --steps-diffusion=8 \
+          --model-out="$shard_tmp/k1.ckpt" > "$shard_tmp/k1.log" 2>&1 \
+      && PRISTI_THREADS=4 PRISTI_TRAIN_SHARDS=4 "$build_dir/tools/pristi_cli" \
+          train --preset=aqi --nodes=12 --gen-steps=120 --window=8 \
+          --stride=8 --epochs=2 --batch=4 --steps-diffusion=8 \
+          --model-out="$shard_tmp/k4.ckpt" > "$shard_tmp/k4.log" 2>&1 \
+      && cmp "$shard_tmp/k1.ckpt" "$shard_tmp/k4.ckpt"; then
+    echo "==== [shard-biteq] OK (1-shard/1-thread == 4-shard/4-thread) ===="
+  else
+    echo "==== [shard-biteq] FAILED ===="
+    status=1
+  fi
+fi
+
 if [ "$status" -ne 0 ]; then
   echo "run_static_analysis: FAILURES detected (see logs above)"
 else
