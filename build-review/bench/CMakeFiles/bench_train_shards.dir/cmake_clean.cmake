@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_train_shards.dir/bench_train_shards.cc.o"
+  "CMakeFiles/bench_train_shards.dir/bench_train_shards.cc.o.d"
+  "bench_train_shards"
+  "bench_train_shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_train_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

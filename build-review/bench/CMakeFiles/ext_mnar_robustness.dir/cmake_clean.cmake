@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mnar_robustness.dir/ext_mnar_robustness.cc.o"
+  "CMakeFiles/ext_mnar_robustness.dir/ext_mnar_robustness.cc.o.d"
+  "ext_mnar_robustness"
+  "ext_mnar_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mnar_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

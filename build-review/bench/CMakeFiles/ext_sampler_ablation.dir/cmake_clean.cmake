@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sampler_ablation.dir/ext_sampler_ablation.cc.o"
+  "CMakeFiles/ext_sampler_ablation.dir/ext_sampler_ablation.cc.o.d"
+  "ext_sampler_ablation"
+  "ext_sampler_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sampler_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

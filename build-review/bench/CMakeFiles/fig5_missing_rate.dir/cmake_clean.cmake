@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_missing_rate.dir/fig5_missing_rate.cc.o"
+  "CMakeFiles/fig5_missing_rate.dir/fig5_missing_rate.cc.o.d"
+  "fig5_missing_rate"
+  "fig5_missing_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_missing_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sensor_failure.dir/fig7_sensor_failure.cc.o"
+  "CMakeFiles/fig7_sensor_failure.dir/fig7_sensor_failure.cc.o.d"
+  "fig7_sensor_failure"
+  "fig7_sensor_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sensor_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hyperparams.dir/fig8_hyperparams.cc.o"
+  "CMakeFiles/fig8_hyperparams.dir/fig8_hyperparams.cc.o.d"
+  "fig8_hyperparams"
+  "fig8_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

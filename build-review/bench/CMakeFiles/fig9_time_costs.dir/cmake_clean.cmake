@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_time_costs.dir/fig9_time_costs.cc.o"
+  "CMakeFiles/fig9_time_costs.dir/fig9_time_costs.cc.o.d"
+  "fig9_time_costs"
+  "fig9_time_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_time_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpristi_bench_common.a"
+  "../lib/libpristi_bench_common.pdb"
+  "CMakeFiles/pristi_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/pristi_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_overall_mae_mse.cc" "bench/CMakeFiles/table3_overall_mae_mse.dir/table3_overall_mae_mse.cc.o" "gcc" "bench/CMakeFiles/table3_overall_mae_mse.dir/table3_overall_mae_mse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/bench/CMakeFiles/pristi_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/eval/CMakeFiles/pristi_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/pristi_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pristi/CMakeFiles/pristi_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/diffusion/CMakeFiles/pristi_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/pristi_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/serialize/CMakeFiles/pristi_serialize.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/pristi_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/autograd/CMakeFiles/pristi_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/pristi_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/pristi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/pristi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/pristi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_overall_mae_mse.dir/table3_overall_mae_mse.cc.o"
+  "CMakeFiles/table3_overall_mae_mse.dir/table3_overall_mae_mse.cc.o.d"
+  "table3_overall_mae_mse"
+  "table3_overall_mae_mse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_overall_mae_mse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_overall_mae_mse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_crps.dir/table4_crps.cc.o"
+  "CMakeFiles/table4_crps.dir/table4_crps.cc.o.d"
+  "table4_crps"
+  "table4_crps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_crps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

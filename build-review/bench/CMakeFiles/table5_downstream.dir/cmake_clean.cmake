@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_downstream.dir/table5_downstream.cc.o"
+  "CMakeFiles/table5_downstream.dir/table5_downstream.cc.o.d"
+  "table5_downstream"
+  "table5_downstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ablation.dir/table6_ablation.cc.o"
+  "CMakeFiles/table6_ablation.dir/table6_ablation.cc.o.d"
+  "table6_ablation"
+  "table6_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

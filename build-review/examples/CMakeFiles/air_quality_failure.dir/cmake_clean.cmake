@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_quality_failure.dir/air_quality_failure.cpp.o"
+  "CMakeFiles/air_quality_failure.dir/air_quality_failure.cpp.o.d"
+  "air_quality_failure"
+  "air_quality_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_quality_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downstream_forecasting.dir/downstream_forecasting.cpp.o"
+  "CMakeFiles/downstream_forecasting.dir/downstream_forecasting.cpp.o.d"
+  "downstream_forecasting"
+  "downstream_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downstream_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

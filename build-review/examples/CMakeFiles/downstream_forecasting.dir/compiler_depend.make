@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for downstream_forecasting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_block_missing.dir/traffic_block_missing.cpp.o"
+  "CMakeFiles/traffic_block_missing.dir/traffic_block_missing.cpp.o.d"
+  "traffic_block_missing"
+  "traffic_block_missing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_block_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("autograd")
+subdirs("nn")
+subdirs("serialize")
+subdirs("graph")
+subdirs("data")
+subdirs("diffusion")
+subdirs("pristi")
+subdirs("baselines")
+subdirs("metrics")
+subdirs("eval")
+subdirs("serve")

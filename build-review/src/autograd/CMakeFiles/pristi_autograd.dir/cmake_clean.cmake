@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/pristi_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/pristi_autograd.dir/ops.cc.o"
+  "CMakeFiles/pristi_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/pristi_autograd.dir/variable.cc.o"
+  "CMakeFiles/pristi_autograd.dir/variable.cc.o.d"
+  "libpristi_autograd.a"
+  "libpristi_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

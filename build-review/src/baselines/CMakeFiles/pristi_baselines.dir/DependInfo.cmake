@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/csdi.cc" "src/baselines/CMakeFiles/pristi_baselines.dir/csdi.cc.o" "gcc" "src/baselines/CMakeFiles/pristi_baselines.dir/csdi.cc.o.d"
+  "/root/repo/src/baselines/factorization.cc" "src/baselines/CMakeFiles/pristi_baselines.dir/factorization.cc.o" "gcc" "src/baselines/CMakeFiles/pristi_baselines.dir/factorization.cc.o.d"
+  "/root/repo/src/baselines/kalman.cc" "src/baselines/CMakeFiles/pristi_baselines.dir/kalman.cc.o" "gcc" "src/baselines/CMakeFiles/pristi_baselines.dir/kalman.cc.o.d"
+  "/root/repo/src/baselines/linalg.cc" "src/baselines/CMakeFiles/pristi_baselines.dir/linalg.cc.o" "gcc" "src/baselines/CMakeFiles/pristi_baselines.dir/linalg.cc.o.d"
+  "/root/repo/src/baselines/regression.cc" "src/baselines/CMakeFiles/pristi_baselines.dir/regression.cc.o" "gcc" "src/baselines/CMakeFiles/pristi_baselines.dir/regression.cc.o.d"
+  "/root/repo/src/baselines/rnn.cc" "src/baselines/CMakeFiles/pristi_baselines.dir/rnn.cc.o" "gcc" "src/baselines/CMakeFiles/pristi_baselines.dir/rnn.cc.o.d"
+  "/root/repo/src/baselines/simple.cc" "src/baselines/CMakeFiles/pristi_baselines.dir/simple.cc.o" "gcc" "src/baselines/CMakeFiles/pristi_baselines.dir/simple.cc.o.d"
+  "/root/repo/src/baselines/stmvl.cc" "src/baselines/CMakeFiles/pristi_baselines.dir/stmvl.cc.o" "gcc" "src/baselines/CMakeFiles/pristi_baselines.dir/stmvl.cc.o.d"
+  "/root/repo/src/baselines/vae.cc" "src/baselines/CMakeFiles/pristi_baselines.dir/vae.cc.o" "gcc" "src/baselines/CMakeFiles/pristi_baselines.dir/vae.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/pristi/CMakeFiles/pristi_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/diffusion/CMakeFiles/pristi_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/pristi_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/pristi_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/serialize/CMakeFiles/pristi_serialize.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/autograd/CMakeFiles/pristi_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/pristi_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/pristi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/pristi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_baselines.dir/csdi.cc.o"
+  "CMakeFiles/pristi_baselines.dir/csdi.cc.o.d"
+  "CMakeFiles/pristi_baselines.dir/factorization.cc.o"
+  "CMakeFiles/pristi_baselines.dir/factorization.cc.o.d"
+  "CMakeFiles/pristi_baselines.dir/kalman.cc.o"
+  "CMakeFiles/pristi_baselines.dir/kalman.cc.o.d"
+  "CMakeFiles/pristi_baselines.dir/linalg.cc.o"
+  "CMakeFiles/pristi_baselines.dir/linalg.cc.o.d"
+  "CMakeFiles/pristi_baselines.dir/regression.cc.o"
+  "CMakeFiles/pristi_baselines.dir/regression.cc.o.d"
+  "CMakeFiles/pristi_baselines.dir/rnn.cc.o"
+  "CMakeFiles/pristi_baselines.dir/rnn.cc.o.d"
+  "CMakeFiles/pristi_baselines.dir/simple.cc.o"
+  "CMakeFiles/pristi_baselines.dir/simple.cc.o.d"
+  "CMakeFiles/pristi_baselines.dir/stmvl.cc.o"
+  "CMakeFiles/pristi_baselines.dir/stmvl.cc.o.d"
+  "CMakeFiles/pristi_baselines.dir/vae.cc.o"
+  "CMakeFiles/pristi_baselines.dir/vae.cc.o.d"
+  "libpristi_baselines.a"
+  "libpristi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cc" "src/common/CMakeFiles/pristi_common.dir/check.cc.o" "gcc" "src/common/CMakeFiles/pristi_common.dir/check.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/common/CMakeFiles/pristi_common.dir/clock.cc.o" "gcc" "src/common/CMakeFiles/pristi_common.dir/clock.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/common/CMakeFiles/pristi_common.dir/flags.cc.o" "gcc" "src/common/CMakeFiles/pristi_common.dir/flags.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/common/CMakeFiles/pristi_common.dir/parallel.cc.o" "gcc" "src/common/CMakeFiles/pristi_common.dir/parallel.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/common/CMakeFiles/pristi_common.dir/table_printer.cc.o" "gcc" "src/common/CMakeFiles/pristi_common.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_common.dir/check.cc.o"
+  "CMakeFiles/pristi_common.dir/check.cc.o.d"
+  "CMakeFiles/pristi_common.dir/clock.cc.o"
+  "CMakeFiles/pristi_common.dir/clock.cc.o.d"
+  "CMakeFiles/pristi_common.dir/flags.cc.o"
+  "CMakeFiles/pristi_common.dir/flags.cc.o.d"
+  "CMakeFiles/pristi_common.dir/parallel.cc.o"
+  "CMakeFiles/pristi_common.dir/parallel.cc.o.d"
+  "CMakeFiles/pristi_common.dir/table_printer.cc.o"
+  "CMakeFiles/pristi_common.dir/table_printer.cc.o.d"
+  "libpristi_common.a"
+  "libpristi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_data.dir/dataset.cc.o"
+  "CMakeFiles/pristi_data.dir/dataset.cc.o.d"
+  "CMakeFiles/pristi_data.dir/io.cc.o"
+  "CMakeFiles/pristi_data.dir/io.cc.o.d"
+  "CMakeFiles/pristi_data.dir/missing.cc.o"
+  "CMakeFiles/pristi_data.dir/missing.cc.o.d"
+  "CMakeFiles/pristi_data.dir/windows.cc.o"
+  "CMakeFiles/pristi_data.dir/windows.cc.o.d"
+  "libpristi_data.a"
+  "libpristi_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_diffusion.dir/ddpm.cc.o"
+  "CMakeFiles/pristi_diffusion.dir/ddpm.cc.o.d"
+  "CMakeFiles/pristi_diffusion.dir/sampler.cc.o"
+  "CMakeFiles/pristi_diffusion.dir/sampler.cc.o.d"
+  "CMakeFiles/pristi_diffusion.dir/schedule.cc.o"
+  "CMakeFiles/pristi_diffusion.dir/schedule.cc.o.d"
+  "CMakeFiles/pristi_diffusion.dir/sharded_train.cc.o"
+  "CMakeFiles/pristi_diffusion.dir/sharded_train.cc.o.d"
+  "libpristi_diffusion.a"
+  "libpristi_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_eval.dir/forecaster.cc.o"
+  "CMakeFiles/pristi_eval.dir/forecaster.cc.o.d"
+  "CMakeFiles/pristi_eval.dir/harness.cc.o"
+  "CMakeFiles/pristi_eval.dir/harness.cc.o.d"
+  "libpristi_eval.a"
+  "libpristi_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_graph.dir/adjacency.cc.o"
+  "CMakeFiles/pristi_graph.dir/adjacency.cc.o.d"
+  "CMakeFiles/pristi_graph.dir/sparse.cc.o"
+  "CMakeFiles/pristi_graph.dir/sparse.cc.o.d"
+  "libpristi_graph.a"
+  "libpristi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_metrics.dir/calibration.cc.o"
+  "CMakeFiles/pristi_metrics.dir/calibration.cc.o.d"
+  "CMakeFiles/pristi_metrics.dir/metrics.cc.o"
+  "CMakeFiles/pristi_metrics.dir/metrics.cc.o.d"
+  "libpristi_metrics.a"
+  "libpristi_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/pristi_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/pristi_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/ema.cc" "src/nn/CMakeFiles/pristi_nn.dir/ema.cc.o" "gcc" "src/nn/CMakeFiles/pristi_nn.dir/ema.cc.o.d"
+  "/root/repo/src/nn/embeddings.cc" "src/nn/CMakeFiles/pristi_nn.dir/embeddings.cc.o" "gcc" "src/nn/CMakeFiles/pristi_nn.dir/embeddings.cc.o.d"
+  "/root/repo/src/nn/graph_conv.cc" "src/nn/CMakeFiles/pristi_nn.dir/graph_conv.cc.o" "gcc" "src/nn/CMakeFiles/pristi_nn.dir/graph_conv.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/pristi_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/pristi_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/pristi_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/pristi_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/pristi_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/pristi_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/pristi_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/pristi_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/autograd/CMakeFiles/pristi_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/pristi_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/pristi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/pristi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

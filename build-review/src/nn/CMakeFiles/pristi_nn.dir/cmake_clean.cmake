@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_nn.dir/attention.cc.o"
+  "CMakeFiles/pristi_nn.dir/attention.cc.o.d"
+  "CMakeFiles/pristi_nn.dir/ema.cc.o"
+  "CMakeFiles/pristi_nn.dir/ema.cc.o.d"
+  "CMakeFiles/pristi_nn.dir/embeddings.cc.o"
+  "CMakeFiles/pristi_nn.dir/embeddings.cc.o.d"
+  "CMakeFiles/pristi_nn.dir/graph_conv.cc.o"
+  "CMakeFiles/pristi_nn.dir/graph_conv.cc.o.d"
+  "CMakeFiles/pristi_nn.dir/gru.cc.o"
+  "CMakeFiles/pristi_nn.dir/gru.cc.o.d"
+  "CMakeFiles/pristi_nn.dir/layers.cc.o"
+  "CMakeFiles/pristi_nn.dir/layers.cc.o.d"
+  "CMakeFiles/pristi_nn.dir/module.cc.o"
+  "CMakeFiles/pristi_nn.dir/module.cc.o.d"
+  "CMakeFiles/pristi_nn.dir/optimizer.cc.o"
+  "CMakeFiles/pristi_nn.dir/optimizer.cc.o.d"
+  "libpristi_nn.a"
+  "libpristi_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_core.dir/pristi_model.cc.o"
+  "CMakeFiles/pristi_core.dir/pristi_model.cc.o.d"
+  "libpristi_core.a"
+  "libpristi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

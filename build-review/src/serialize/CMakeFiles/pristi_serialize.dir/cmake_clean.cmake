@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_serialize.dir/checkpoint.cc.o"
+  "CMakeFiles/pristi_serialize.dir/checkpoint.cc.o.d"
+  "CMakeFiles/pristi_serialize.dir/format.cc.o"
+  "CMakeFiles/pristi_serialize.dir/format.cc.o.d"
+  "libpristi_serialize.a"
+  "libpristi_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_serve.dir/session.cc.o"
+  "CMakeFiles/pristi_serve.dir/session.cc.o.d"
+  "libpristi_serve.a"
+  "libpristi_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

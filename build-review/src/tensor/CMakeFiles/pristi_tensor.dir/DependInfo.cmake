@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/kernels/pack_cache.cc" "src/tensor/CMakeFiles/pristi_tensor.dir/kernels/pack_cache.cc.o" "gcc" "src/tensor/CMakeFiles/pristi_tensor.dir/kernels/pack_cache.cc.o.d"
+  "/root/repo/src/tensor/kernels/sgemm.cc" "src/tensor/CMakeFiles/pristi_tensor.dir/kernels/sgemm.cc.o" "gcc" "src/tensor/CMakeFiles/pristi_tensor.dir/kernels/sgemm.cc.o.d"
+  "/root/repo/src/tensor/storage.cc" "src/tensor/CMakeFiles/pristi_tensor.dir/storage.cc.o" "gcc" "src/tensor/CMakeFiles/pristi_tensor.dir/storage.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/pristi_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/pristi_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pristi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_tensor.dir/kernels/pack_cache.cc.o"
+  "CMakeFiles/pristi_tensor.dir/kernels/pack_cache.cc.o.d"
+  "CMakeFiles/pristi_tensor.dir/kernels/sgemm.cc.o"
+  "CMakeFiles/pristi_tensor.dir/kernels/sgemm.cc.o.d"
+  "CMakeFiles/pristi_tensor.dir/storage.cc.o"
+  "CMakeFiles/pristi_tensor.dir/storage.cc.o.d"
+  "CMakeFiles/pristi_tensor.dir/tensor.cc.o"
+  "CMakeFiles/pristi_tensor.dir/tensor.cc.o.d"
+  "libpristi_tensor.a"
+  "libpristi_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

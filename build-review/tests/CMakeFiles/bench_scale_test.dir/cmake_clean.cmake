@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_test.dir/bench_scale_test.cc.o"
+  "CMakeFiles/bench_scale_test.dir/bench_scale_test.cc.o.d"
+  "bench_scale_test"
+  "bench_scale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

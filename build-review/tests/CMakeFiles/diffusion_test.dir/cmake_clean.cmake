@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_test.dir/diffusion_test.cc.o"
+  "CMakeFiles/diffusion_test.dir/diffusion_test.cc.o.d"
+  "diffusion_test"
+  "diffusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

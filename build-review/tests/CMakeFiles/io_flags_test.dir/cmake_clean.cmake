@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_flags_test.dir/io_flags_test.cc.o"
+  "CMakeFiles/io_flags_test.dir/io_flags_test.cc.o.d"
+  "io_flags_test"
+  "io_flags_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

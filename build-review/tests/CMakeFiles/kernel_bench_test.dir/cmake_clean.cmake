@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_bench_test.dir/kernel_bench_test.cc.o"
+  "CMakeFiles/kernel_bench_test.dir/kernel_bench_test.cc.o.d"
+  "kernel_bench_test"
+  "kernel_bench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_bench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_test.dir/lint_test.cc.o"
+  "CMakeFiles/lint_test.dir/lint_test.cc.o.d"
+  "lint_test"
+  "lint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

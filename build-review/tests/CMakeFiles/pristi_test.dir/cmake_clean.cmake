@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_test.dir/pristi_test.cc.o"
+  "CMakeFiles/pristi_test.dir/pristi_test.cc.o.d"
+  "pristi_test"
+  "pristi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

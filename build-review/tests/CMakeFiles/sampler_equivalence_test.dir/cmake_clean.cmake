@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_equivalence_test.dir/sampler_equivalence_test.cc.o"
+  "CMakeFiles/sampler_equivalence_test.dir/sampler_equivalence_test.cc.o.d"
+  "sampler_equivalence_test"
+  "sampler_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

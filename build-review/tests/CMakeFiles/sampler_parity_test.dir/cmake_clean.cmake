@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_parity_test.dir/sampler_parity_test.cc.o"
+  "CMakeFiles/sampler_parity_test.dir/sampler_parity_test.cc.o.d"
+  "sampler_parity_test"
+  "sampler_parity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

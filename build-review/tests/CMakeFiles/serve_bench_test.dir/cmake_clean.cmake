@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_bench_test.dir/serve_bench_test.cc.o"
+  "CMakeFiles/serve_bench_test.dir/serve_bench_test.cc.o.d"
+  "serve_bench_test"
+  "serve_bench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_bench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_train_test.dir/sharded_train_test.cc.o"
+  "CMakeFiles/sharded_train_test.dir/sharded_train_test.cc.o.d"
+  "sharded_train_test"
+  "sharded_train_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

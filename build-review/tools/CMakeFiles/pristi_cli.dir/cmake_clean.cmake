@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_cli.dir/pristi_cli.cc.o"
+  "CMakeFiles/pristi_cli.dir/pristi_cli.cc.o.d"
+  "pristi_cli"
+  "pristi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

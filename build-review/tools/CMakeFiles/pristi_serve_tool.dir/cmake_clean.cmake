@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_serve_tool.dir/pristi_serve.cc.o"
+  "CMakeFiles/pristi_serve_tool.dir/pristi_serve.cc.o.d"
+  "pristi_serve"
+  "pristi_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_serve_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/analysis/analysis.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/analysis.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/analysis.cc.o.d"
+  "/root/repo/tools/analysis/include_graph.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/include_graph.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/include_graph.cc.o.d"
+  "/root/repo/tools/analysis/manifest.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/manifest.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/manifest.cc.o.d"
+  "/root/repo/tools/analysis/passes_dcheck_purity.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_dcheck_purity.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_dcheck_purity.cc.o.d"
+  "/root/repo/tools/analysis/passes_env_registry.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_env_registry.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_env_registry.cc.o.d"
+  "/root/repo/tools/analysis/passes_fp_contraction.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_fp_contraction.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_fp_contraction.cc.o.d"
+  "/root/repo/tools/analysis/passes_layering.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_layering.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_layering.cc.o.d"
+  "/root/repo/tools/analysis/passes_legacy.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_legacy.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_legacy.cc.o.d"
+  "/root/repo/tools/analysis/passes_parallel_region.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_parallel_region.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/passes_parallel_region.cc.o.d"
+  "/root/repo/tools/analysis/token_stream.cc" "tools/analysis/CMakeFiles/pristi_analysis.dir/token_stream.cc.o" "gcc" "tools/analysis/CMakeFiles/pristi_analysis.dir/token_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_analysis.dir/analysis.cc.o"
+  "CMakeFiles/pristi_analysis.dir/analysis.cc.o.d"
+  "CMakeFiles/pristi_analysis.dir/include_graph.cc.o"
+  "CMakeFiles/pristi_analysis.dir/include_graph.cc.o.d"
+  "CMakeFiles/pristi_analysis.dir/manifest.cc.o"
+  "CMakeFiles/pristi_analysis.dir/manifest.cc.o.d"
+  "CMakeFiles/pristi_analysis.dir/passes_dcheck_purity.cc.o"
+  "CMakeFiles/pristi_analysis.dir/passes_dcheck_purity.cc.o.d"
+  "CMakeFiles/pristi_analysis.dir/passes_env_registry.cc.o"
+  "CMakeFiles/pristi_analysis.dir/passes_env_registry.cc.o.d"
+  "CMakeFiles/pristi_analysis.dir/passes_fp_contraction.cc.o"
+  "CMakeFiles/pristi_analysis.dir/passes_fp_contraction.cc.o.d"
+  "CMakeFiles/pristi_analysis.dir/passes_layering.cc.o"
+  "CMakeFiles/pristi_analysis.dir/passes_layering.cc.o.d"
+  "CMakeFiles/pristi_analysis.dir/passes_legacy.cc.o"
+  "CMakeFiles/pristi_analysis.dir/passes_legacy.cc.o.d"
+  "CMakeFiles/pristi_analysis.dir/passes_parallel_region.cc.o"
+  "CMakeFiles/pristi_analysis.dir/passes_parallel_region.cc.o.d"
+  "CMakeFiles/pristi_analysis.dir/token_stream.cc.o"
+  "CMakeFiles/pristi_analysis.dir/token_stream.cc.o.d"
+  "libpristi_analysis.a"
+  "libpristi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_analyze.dir/pristi_analyze.cc.o"
+  "CMakeFiles/pristi_analyze.dir/pristi_analyze.cc.o.d"
+  "pristi_analyze"
+  "pristi_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pristi_lint.dir/pristi_analyze.cc.o"
+  "CMakeFiles/pristi_lint.dir/pristi_analyze.cc.o.d"
+  "pristi_lint"
+  "pristi_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pristi_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/analysis
+# Build directory: /root/repo/build-review/tools/analysis
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(pristi_analyze "/root/repo/build-review/tools/analysis/pristi_analyze" "/root/repo")
+set_tests_properties(pristi_analyze PROPERTIES  LABELS "analysis" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/analysis/CMakeLists.txt;27;add_test;/root/repo/tools/analysis/CMakeLists.txt;0;")
+add_test(pristi_lint "/root/repo/build-review/tools/analysis/pristi_lint" "/root/repo")
+set_tests_properties(pristi_lint PROPERTIES  LABELS "analysis" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/analysis/CMakeLists.txt;29;add_test;/root/repo/tools/analysis/CMakeLists.txt;0;")
