@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "tensor/kernels/attention.h"
 
 namespace pristi::autograd {
 
@@ -325,6 +326,78 @@ Variable BatchedMatMulTN(const Variable& a, const Variable& b) {
                   an->AccumulateGrad(t::BatchedMatMulNT(bn->value, g));
                   bn->AccumulateGrad(t::BatchedMatMul(an->value, g));
                 });
+}
+
+Variable BatchedMatMulNTScaled(const Variable& a, const Variable& b,
+                               float scale) {
+  Tensor out = t::BatchedMatMulNT(a.value(), b.value());
+  // In-place epilogue: each element rounds exactly as the old separate
+  // MulScalar pass did (one multiply per element), so the reference
+  // attention path stays bitwise-unchanged — only the intermediate tensor
+  // and its tape node disappear.
+  out.ScaleInPlace(scale);
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp("BatchedMatMulNTScaled", std::move(out), {a, b},
+                [an, bn, scale](const Tensor& g) {
+                  // The old MulScalar -> BatchedMatMulNT backward chain,
+                  // verbatim: scale the upstream grad once, then
+                  // da = gs b, db = gsᵀ a.
+                  Tensor gs = t::MulScalar(g, scale);
+                  an->AccumulateGrad(t::BatchedMatMul(gs, bn->value));
+                  bn->AccumulateGrad(t::BatchedMatMulTN(gs, an->value));
+                });
+}
+
+Variable FusedAttention(const Variable& q, const Variable& k,
+                        const Variable& v, float scale) {
+  const Tensor& qv = q.value();
+  const Tensor& kv = k.value();
+  const Tensor& vv = v.value();
+  int64_t nd = qv.ndim();
+  PRISTI_CHECK_GE(nd, 2) << "FusedAttention needs (..., seq, head_dim)";
+  PRISTI_CHECK_EQ(kv.ndim(), nd);
+  PRISTI_CHECK_EQ(vv.ndim(), nd);
+  int64_t dh = qv.dim(nd - 1);
+  int64_t s_q = qv.dim(nd - 2);
+  int64_t s_k = kv.dim(nd - 2);
+  PRISTI_CHECK_GT(qv.numel(), 0) << "FusedAttention on an empty tensor";
+  PRISTI_CHECK_EQ(kv.dim(nd - 1), dh) << "FusedAttention head_dim mismatch";
+  PRISTI_CHECK_EQ(vv.dim(nd - 1), dh) << "FusedAttention head_dim mismatch";
+  PRISTI_CHECK_EQ(vv.dim(nd - 2), s_k) << "FusedAttention kv length mismatch";
+  int64_t batch = qv.numel() / (s_q * dh);
+  PRISTI_CHECK_EQ(kv.numel(), batch * s_k * dh)
+      << "FusedAttention leading dims mismatch";
+  Tensor out(qv.shape());
+  Tensor lse(Shape{batch, s_q});
+  t::kernels::FusedAttentionForward(batch, s_q, s_k, dh, scale, qv.data(),
+                                 kv.data(), vv.data(), out.data(), lse.data(),
+                                 &kv);
+  auto qn = q.node();
+  auto kn = k.node();
+  auto vn = v.node();
+  Tensor out_copy = out;
+  return MakeOp(
+      "FusedAttention", std::move(out), {q, k, v},
+      [qn, kn, vn, out_copy, lse, scale, batch, s_q, s_k,
+       dh](const Tensor& g) {
+        // Const views so reading the saved inputs never bumps a storage
+        // version (which would evict the packed K panels the backward is
+        // about to reuse).
+        const Tensor& qt = qn->value;
+        const Tensor& kt = kn->value;
+        const Tensor& vt = vn->value;
+        Tensor dq(qt.shape());
+        Tensor dk(kt.shape());
+        Tensor dv(vt.shape());
+        t::kernels::FusedAttentionBackward(batch, s_q, s_k, dh, scale, qt.data(),
+                                        kt.data(), vt.data(), out_copy.data(),
+                                        lse.data(), g.data(), dq.data(),
+                                        dk.data(), dv.data(), &kt);
+        qn->AccumulateGrad(dq);
+        kn->AccumulateGrad(dk);
+        vn->AccumulateGrad(dv);
+      });
 }
 
 Variable MatMulLastDim(const Variable& x, const Variable& w) {

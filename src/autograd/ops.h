@@ -54,6 +54,22 @@ Variable BatchedMatMul(const Variable& a, const Variable& b);
 Variable BatchedMatMulNT(const Variable& a, const Variable& b);
 // (..., k, m)ᵀ x (..., k, n).
 Variable BatchedMatMulTN(const Variable& a, const Variable& b);
+// scale * ((..., m, k) x (..., n, k)ᵀ) with the scale applied as an in-place
+// epilogue on the product — bitwise the old MulScalar(BatchedMatMulNT(...))
+// chain (same per-element rounding forward and backward) without the extra
+// tensor allocation and tape node. The reference-path half of the attention
+// scale fold; the fused kernel folds the scale into its Q-load instead.
+Variable BatchedMatMulNTScaled(const Variable& a, const Variable& b,
+                               float scale);
+// Streaming fused attention: softmax(scale * q·kᵀ)·v over q(..., s_q, dh),
+// k/v(..., s_k, dh) with matching leading dims, without materializing the
+// (..., s_q, s_k) scores (tensor/kernels/attention.h). Saves the per-row
+// logsumexp so the backward recomputes score blocks instead of storing
+// softmax weights. Forward matches the reference chain to 1e-5 (online
+// softmax reorders the reduction — NOT bitwise); the op itself is
+// bit-identical across thread counts and runs.
+Variable FusedAttention(const Variable& q, const Variable& k,
+                        const Variable& v, float scale);
 // Shared weight on the last axis: (..., k_in) x (k_in, k_out).
 Variable MatMulLastDim(const Variable& x, const Variable& w);
 // Shared matrix on the second-to-last ("node") axis:

@@ -47,6 +47,13 @@
 //   PRISTI_PACK_CACHE_MB  64 — cap on resident packed weight panels in
 //          the GEMM pack cache. 0 disables the cache: every call repacks
 //          its operands into thread-local scratch.
+//   PRISTI_ATTN_FUSED  1 — 0 routes MultiHeadAttention back through the
+//          materialized BatchedMatMulNT -> SoftmaxLastDim -> BatchedMatMul
+//          chain instead of the streaming fused kernel
+//          (src/tensor/kernels/attention.cc). The A/B baseline for
+//          AttentionBench and the bitwise path the training-loss goldens
+//          pin; fused vs reference is a 1e-5 tolerance contract, not
+//          bitwise.
 //
 // Serving layer (defaults resolved once by serve::ServeConfig::FromEnv in
 // src/serve/session.cc; pristi_serve and ServeBench read their batching
@@ -90,6 +97,10 @@
 //          tools/run_static_analysis.sh (requires matching hardware).
 //   PRISTI_SHARD_BITEQ  1 — 0 skips the 1-shard-vs-4-shard training
 //          bit-identity leg of tools/run_static_analysis.sh.
+//   PRISTI_ATTN_PARITY  1 — 0 skips the fused-off vs fused-on sampler
+//          output parity leg of tools/run_static_analysis.sh (tolerance
+//          compare of pristi_cli impute outputs under PRISTI_ATTN_FUSED=1
+//          and =0).
 //
 // pristi-env-registry-end
 

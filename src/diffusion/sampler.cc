@@ -159,16 +159,46 @@ class DdpmStepper final : public SamplerStepper {
     Variable eps_hat_var = model->PredictNoise(*x, batch, rs.step);
     const Tensor& eps_hat = eps_hat_var.value();
     bool add_noise = rs.sigma > 0.0f;
-    if (add_noise) {
-      if (z_.numel() != x->numel()) z_ = Tensor(x->shape());
-      FillChainNoise(&z_, chain_rngs, num_chains, target_masks);
-    }
     const float* pe = eps_hat.data();
     const float* pm = target_masks.data();
-    const float* pz = add_noise ? z_.data() : nullptr;
     float* px = x->data();
-    // Fused per-step update over all chains: x0-estimate, posterior-mean
-    // combination and target-mask projection in one pass, no temporaries.
+    if (add_noise) {
+      // Noisy steps fuse the old FillChainNoise pre-pass into the update:
+      // one chain-parallel sweep draws each chain's noise and applies the
+      // posterior step in place, instead of two passes over x plus a
+      // noise scratch tensor. Each chain's Rng performs exactly the draws
+      // FillChainNoise performed, in the same row-major order (masked
+      // entries included), and the update arithmetic rounds identically —
+      // so coalesced batches stay bit-identical to solo runs (the
+      // batched == sequential oracle in sampler_equivalence_test) at any
+      // thread count, since one worker owns a chain end to end.
+      PRISTI_DCHECK_EQ(target_masks.numel(), x->numel());
+      int64_t per = x->numel() / num_chains;
+      ParallelFor(0, num_chains, [&](int64_t lo, int64_t hi) {
+        for (int64_t c = lo; c < hi; ++c) {
+          Rng& chain_rng = chain_rngs[c];
+          const float* cm = pm + c * per;
+          const float* ce = pe + c * per;
+          float* cx = px + c * per;
+          for (int64_t i = 0; i < per; ++i) {
+            float z = static_cast<float>(chain_rng.Normal()) * cm[i];
+            float e = ce[i];
+            float xi = cx[i];
+            float x0 = (xi - rs.sqrt_1m_ab * e) * rs.inv_sqrt_ab;
+            x0 = std::clamp(x0, -kX0Clamp, kX0Clamp);
+            // DDPM ancestral step via the posterior mean in x0 form
+            // (equivalent to Algorithm 2 when x0_hat is unclamped):
+            // mu = [sqrt(ab_prev) beta_t x0_hat
+            //       + sqrt(alpha_t) (1 - ab_prev) x_t] / (1 - ab_t).
+            float next = rs.c0 * x0 + rs.ct * xi;
+            next += rs.sigma * z;
+            cx[i] = next * cm[i];
+          }
+        }
+      });
+      return;
+    }
+    // Final (noiseless) step: plain elementwise pass, unchanged.
     ParallelFor(
         0, x->numel(),
         [&](int64_t lo, int64_t hi) {
@@ -177,20 +207,12 @@ class DdpmStepper final : public SamplerStepper {
             float xi = px[i];
             float x0 = (xi - rs.sqrt_1m_ab * e) * rs.inv_sqrt_ab;
             x0 = std::clamp(x0, -kX0Clamp, kX0Clamp);
-            // DDPM ancestral step via the posterior mean in x0 form
-            // (equivalent to Algorithm 2 when x0_hat is unclamped):
-            // mu = [sqrt(ab_prev) beta_t x0_hat
-            //       + sqrt(alpha_t) (1 - ab_prev) x_t] / (1 - ab_t).
             float next = rs.c0 * x0 + rs.ct * xi;
-            if (add_noise) next += rs.sigma * pz[i];
             px[i] = next * pm[i];
           }
         },
         kStepMinChunk);
   }
-
- private:
-  Tensor z_;  // per-step noise scratch, allocated on first noisy step
 };
 
 class DdimStepper final : public SamplerStepper {

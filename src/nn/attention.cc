@@ -3,10 +3,12 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "tensor/kernels/attention.h"
 
 namespace pristi::nn {
 
 namespace ag = ::pristi::autograd;
+namespace kernels = ::pristi::tensor::kernels;
 
 MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t num_heads,
                                        Rng& rng, int64_t virtual_nodes,
@@ -78,10 +80,21 @@ Variable MultiHeadAttention::Forward(const Variable& qk_source,
   Variable vh = SplitHeads(v);  // (B, h, S_k, dh)
 
   float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  // Q·Kᵀ via the NT kernel: K is read transposed in place, no copy.
-  Variable scores = ag::MulScalar(ag::BatchedMatMulNT(qh, kh), scale);
-  Variable weights = ag::SoftmaxLastDim(scores);  // (B, h, S, S_k)
-  Variable context = ag::BatchedMatMul(weights, vh);
+  Variable context;
+  if (kernels::FusedAttentionEnabled()) {
+    // Streaming fused kernel: online softmax over packed K panels, the
+    // (B, h, S, S_k) scores never materialize, scale folded into the
+    // Q-load. Matches the reference chain to 1e-5, not bitwise
+    // (tensor/kernels/attention.h).
+    context = ag::FusedAttention(qh, kh, vh, scale);
+  } else {
+    // Reference chain (PRISTI_ATTN_FUSED=0): Q·Kᵀ via the NT kernel with
+    // the scale as an in-place epilogue — bitwise the pre-fusion
+    // MulScalar pass, so every recorded golden pins this path.
+    Variable weights =
+        ag::SoftmaxLastDim(ag::BatchedMatMulNTScaled(qh, kh, scale));
+    context = ag::BatchedMatMul(weights, vh);  // (B, h, S, dh)
+  }
   return ag::MatMulLastDim(MergeHeads(context), wo_);
 }
 

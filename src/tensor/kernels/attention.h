@@ -1,0 +1,100 @@
+#ifndef PRISTI_TENSOR_KERNELS_ATTENTION_H_
+#define PRISTI_TENSOR_KERNELS_ATTENTION_H_
+
+// Streaming fused scaled-dot-product attention (online softmax).
+//
+// The classic chain materializes the full (batch, s_q, s_k) score tensor
+// three times over (Q·Kᵀ write, softmax read+write, context-GEMM read). At
+// paper-full spatial shapes (325 nodes, 100 stacked samples) that score
+// traffic dominates reverse-step memory bandwidth. The fused kernel tiles
+// Q rows against kColTile-wide packed K column panels, maintains a running
+// row max `m` and normalizer `l` (online softmax: when a kv block's max
+// exceeds `m`, the partial normalizer and context accumulator are rescaled
+// once by exp(m_old - m_new)), and accumulates the context output directly
+// — no score tensor ever exists. The softmax weights use an in-kernel
+// polynomial exp (Cephes-style 2^n·poly(r), < 1e-7 relative error) rather
+// than libm, so the scalar path and the AVX2 whole-row path (dispatched for
+// the paper head_dim 8) evaluate the exact same rounding chain. The per-row
+// logsumexp is saved so the backward pass recomputes score blocks from the
+// same packed panels instead of storing softmax weights.
+//
+// Determinism contract (weaker than the GEMM layer's, by necessity):
+//   - fused vs reference is a TOLERANCE equivalence (max-abs-error <= 1e-5
+//     on forward at model shapes), NOT bitwise: online softmax reorders the
+//     softmax reduction and uses the polynomial exp.
+//   - the fused path ITSELF is bit-identical across thread counts, parallel
+//     partitions, SIMD dispatch and runs: every output row is one serial
+//     sweep over its kv blocks (scores per block are independent per-column
+//     chains in strictly increasing k; the block max, the single rescale,
+//     the exp lanes, and the l/o accumulations run in fixed increasing
+//     column order), each row is owned by exactly one ParallelFor worker,
+//     the backward is batch-item-serial the same way, and the AVX2 row
+//     kernel reproduces the scalar chains lane for lane. kColTile is an
+//     algorithmic constant of the kernel, not a tuning knob — the recorded
+//     fused golden pins its value.
+//   - the reference chain (PRISTI_ATTN_FUSED=0 routes nn/attention.cc back
+//     through BatchedMatMulNT -> SoftmaxLastDim -> BatchedMatMul) is
+//     bitwise-unchanged from before this kernel existed, so all recorded
+//     goldens pin the reference path.
+//
+// The 1/sqrt(head_dim) scale is folded into the Q-row load (one mul per
+// q element instead of a full-tensor pass over the scores).
+//
+// K panels reuse the PR 5 pack cache: the forward packs K of each batch
+// item into kColTile-wide k-major column panels (the PackBPanel format for
+// a kTransposed operand) and inserts the buffer keyed on K's storage
+// identity, so the backward's block recomputation — running while the
+// autograd graph still pins K's storage version — hits instead of
+// repacking. V is consumed row-contiguously and needs no packing.
+//
+// Environment knob (read once at first use; see src/common/env.h):
+//   PRISTI_ATTN_FUSED=0  restore the materialized reference chain — the
+//                        A/B baseline for AttentionBench and the path the
+//                        training-loss goldens pin.
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace pristi::tensor::kernels {
+
+// True unless PRISTI_ATTN_FUSED=0 selected the reference chain at startup.
+bool FusedAttentionEnabled();
+
+// Overrides the routing at runtime; returns the previous value. Test/bench
+// hook (in-process A/B comparisons, pinning goldens to the reference path);
+// production code reads the env knob through FusedAttentionEnabled() only.
+bool SetFusedAttentionEnabled(bool enabled);
+
+// Forward: out(batch, s_q, dh) = softmax(scale * Q·Kᵀ) · V with
+// Q(batch, s_q, dh), K/V(batch, s_k, dh) row-major and batch the product of
+// all leading dims (B*h for multi-head attention). `lse(batch, s_q)`
+// receives the per-row logsumexp of the SCALED scores, the saved state the
+// backward needs. `cache_k`, when non-null, must be the tensor whose data()
+// backs `k`; its storage identity keys the packed K panels in the pack
+// cache.
+void FusedAttentionForward(int64_t batch, int64_t s_q, int64_t s_k,
+                           int64_t dh, float scale, const float* q,
+                           const float* k, const float* v, float* out,
+                           float* lse, const Tensor* cache_k = nullptr);
+
+// Backward by block recomputation: given the forward's saved `out` and
+// `lse`, recomputes each score block from the packed K panels (pack-cache
+// hit when `cache_k` identifies unchanged storage), reforms the softmax row
+// p_j = exp(s_j - lse_i), and accumulates
+//   dV[j]  += p_j * gO[i]
+//   ds_j    = p_j * (gO[i]·V[j] - D_i),   D_i = gO[i]·out[i]
+//   dK[j]  += ds_j * (scale * Q[i])
+//   dQ[i]  += scale * sum_j ds_j * K[j]
+// dq/dk/dv must be distinct from every input and are OVERWRITTEN (the
+// kernel zeroes them). Batch-item-parallel, serial within an item.
+void FusedAttentionBackward(int64_t batch, int64_t s_q, int64_t s_k,
+                            int64_t dh, float scale, const float* q,
+                            const float* k, const float* v, const float* out,
+                            const float* lse, const float* grad_out,
+                            float* dq, float* dk, float* dv,
+                            const Tensor* cache_k = nullptr);
+
+}  // namespace pristi::tensor::kernels
+
+#endif  // PRISTI_TENSOR_KERNELS_ATTENTION_H_

@@ -72,6 +72,12 @@ struct KernelStats {
   uint64_t pack_cache_hits = 0;    // panel served from the cache
   uint64_t pack_cache_misses = 0;  // packed fresh (includes stale versions)
   uint64_t pack_cache_bytes = 0;   // bytes currently resident in the cache
+  // Fused-attention kernel (tensor/kernels/attention.cc): output rows
+  // streamed, kv column blocks visited (forward + backward recompute), and
+  // score/softmax bytes NOT materialized relative to the reference chain.
+  uint64_t fused_attn_rows = 0;
+  uint64_t fused_attn_kv_blocks = 0;
+  uint64_t fused_attn_bytes_avoided = 0;
 
   double PackCacheHitRate() const {
     uint64_t lookups = pack_cache_hits + pack_cache_misses;

@@ -30,6 +30,9 @@ struct KernelCounters {
   std::atomic<uint64_t> pack_cache_hits{0};
   std::atomic<uint64_t> pack_cache_misses{0};
   std::atomic<uint64_t> pack_cache_bytes{0};
+  std::atomic<uint64_t> fused_attn_rows{0};
+  std::atomic<uint64_t> fused_attn_kv_blocks{0};
+  std::atomic<uint64_t> fused_attn_bytes_avoided{0};
 };
 
 KernelCounters& Counters();

@@ -318,6 +318,11 @@ KernelStats GetKernelStats() {
   s.pack_cache_hits = c.pack_cache_hits.load(std::memory_order_relaxed);
   s.pack_cache_misses = c.pack_cache_misses.load(std::memory_order_relaxed);
   s.pack_cache_bytes = c.pack_cache_bytes.load(std::memory_order_relaxed);
+  s.fused_attn_rows = c.fused_attn_rows.load(std::memory_order_relaxed);
+  s.fused_attn_kv_blocks =
+      c.fused_attn_kv_blocks.load(std::memory_order_relaxed);
+  s.fused_attn_bytes_avoided =
+      c.fused_attn_bytes_avoided.load(std::memory_order_relaxed);
   return s;
 }
 

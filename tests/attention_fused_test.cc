@@ -1,0 +1,291 @@
+// Tests for the streaming fused attention kernel
+// (src/tensor/kernels/attention.cc) and its ag::FusedAttention wrapper:
+// fused-vs-reference tolerance parity at paper-full shapes, module-level
+// parity through MultiHeadAttention (plain and virtual-node paths),
+// bitwise determinism of the fused path across thread counts and repeated
+// runs, kernel-counter accounting, and a seeded output golden.
+//
+// Regenerating the golden after an INTENTIONAL kernel change:
+//   PRISTI_REGEN_GOLDEN=1 ./build/tests/attention_fused_test
+//     --gtest_filter='FusedAttentionGolden.*'
+// then commit the rewritten tests/golden/attention_fused_seeded.txt.
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/env.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "tensor/kernels/attention.h"
+#include "tensor/kernels/kernels.h"
+#include "tensor/tensor.h"
+
+namespace pristi::tensor {
+namespace {
+
+namespace ag = ::pristi::autograd;
+namespace kn = kernels;
+using ag::Variable;
+
+#ifndef PRISTI_ATTN_GOLDEN_PATH
+#define PRISTI_ATTN_GOLDEN_PATH "tests/golden/attention_fused_seeded.txt"
+#endif
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.numel(), b.numel());
+  float worst = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+// The reference chain exactly as nn/attention.cc issues it with
+// PRISTI_ATTN_FUSED=0: scaled NT scores -> softmax -> context GEMM.
+Tensor ReferenceAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                          float scale) {
+  Variable qv(q), kv(k), vv(v);
+  Variable weights =
+      ag::SoftmaxLastDim(ag::BatchedMatMulNTScaled(qv, kv, scale));
+  return ag::BatchedMatMul(weights, vv).value();
+}
+
+Tensor FusedAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                      float scale) {
+  return ag::FusedAttention(Variable(q), Variable(k), Variable(v), scale)
+      .value();
+}
+
+// ---------------------------------------------------------------------------
+// Fused vs reference: tolerance parity (the 1e-5 forward contract)
+// ---------------------------------------------------------------------------
+
+// Paper-full spatial attention: every head/window attends over all 325 AQI
+// sensors at head_dim 8. batch = B*h for B = 2 windows of 8 heads.
+TEST(FusedVsReference, PaperSpatialShape325Nodes) {
+  Rng rng(101);
+  const float scale = 1.0f / std::sqrt(8.0f);
+  Tensor q = Tensor::Randn({16, 325, 8}, rng);
+  Tensor k = Tensor::Randn({16, 325, 8}, rng);
+  Tensor v = Tensor::Randn({16, 325, 8}, rng);
+  EXPECT_LE(MaxAbsDiff(FusedAttention(q, k, v, scale),
+                       ReferenceAttention(q, k, v, scale)),
+            1e-5f);
+}
+
+// Paper-full temporal attention: batch = B*N*h = 1*325*8 rows of the L=36
+// window, head_dim 8.
+TEST(FusedVsReference, PaperTemporalShapeL36) {
+  Rng rng(102);
+  const float scale = 1.0f / std::sqrt(8.0f);
+  Tensor q = Tensor::Randn({2600, 36, 8}, rng);
+  Tensor k = Tensor::Randn({2600, 36, 8}, rng);
+  Tensor v = Tensor::Randn({2600, 36, 8}, rng);
+  EXPECT_LE(MaxAbsDiff(FusedAttention(q, k, v, scale),
+                       ReferenceAttention(q, k, v, scale)),
+            1e-5f);
+}
+
+// Virtual-node geometry: 325 query positions against 8 compressed kv rows
+// (s_k << s_q, one partial kv block).
+TEST(FusedVsReference, VirtualNodeGeometry) {
+  Rng rng(103);
+  const float scale = 1.0f / std::sqrt(8.0f);
+  Tensor q = Tensor::Randn({16, 325, 8}, rng);
+  Tensor k = Tensor::Randn({16, 8, 8}, rng);
+  Tensor v = Tensor::Randn({16, 8, 8}, rng);
+  EXPECT_LE(MaxAbsDiff(FusedAttention(q, k, v, scale),
+                       ReferenceAttention(q, k, v, scale)),
+            1e-5f);
+}
+
+// Module-level A/B through MultiHeadAttention::Forward, which is what the
+// PRISTI_ATTN_FUSED knob actually routes: plain self-attention and the
+// virtual-node pk_/pv_ path, forward outputs within 1e-5.
+TEST(FusedVsReference, MultiHeadAttentionModuleParity) {
+  Rng rng(104);
+  nn::MultiHeadAttention plain(64, 8, rng);
+  nn::MultiHeadAttention virt(64, 8, rng, /*virtual_nodes=*/8,
+                              /*seq_len=*/57);
+  Tensor x = Tensor::Randn({2, 57, 64}, rng);
+  for (nn::MultiHeadAttention* attn : {&plain, &virt}) {
+    bool prev = kn::SetFusedAttentionEnabled(true);
+    Tensor fused = attn->Forward(Variable(x)).value();
+    kn::SetFusedAttentionEnabled(false);
+    Tensor reference = attn->Forward(Variable(x)).value();
+    kn::SetFusedAttentionEnabled(prev);
+    EXPECT_LE(MaxAbsDiff(fused, reference), 1e-5f)
+        << (attn == &virt ? "virtual-node" : "plain") << " module path";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused-path determinism: bitwise across thread counts and runs
+// ---------------------------------------------------------------------------
+
+// One fused forward+backward round at a ragged shape (s_k = 57 spans full
+// kv blocks plus a tail), returning every array the kernel writes.
+struct FusedRound {
+  Tensor out, lse, dq, dk, dv;
+};
+
+FusedRound RunFusedRound(const Tensor& q, const Tensor& k, const Tensor& v,
+                         const Tensor& grad_out, float scale) {
+  const int64_t batch = q.dim(0), s_q = q.dim(1), s_k = k.dim(1),
+                dh = q.dim(2);
+  FusedRound r{Tensor(q.shape()), Tensor(Shape{batch, s_q}),
+               Tensor(q.shape()), Tensor(k.shape()), Tensor(v.shape())};
+  kn::FusedAttentionForward(batch, s_q, s_k, dh, scale, q.data(), k.data(),
+                            v.data(), r.out.data(), r.lse.data(), &k);
+  kn::FusedAttentionBackward(batch, s_q, s_k, dh, scale, q.data(), k.data(),
+                             v.data(), r.out.data(), r.lse.data(),
+                             grad_out.data(), r.dq.data(), r.dk.data(),
+                             r.dv.data(), &k);
+  return r;
+}
+
+void ExpectRoundsBitEqual(const FusedRound& a, const FusedRound& b,
+                          const std::string& what) {
+  auto cmp = [&](const Tensor& x, const Tensor& y, const char* name) {
+    ASSERT_EQ(x.numel(), y.numel());
+    EXPECT_EQ(std::memcmp(x.data(), y.data(),
+                          sizeof(float) * static_cast<size_t>(x.numel())),
+              0)
+        << what << ": " << name << " bytes differ";
+  };
+  cmp(a.out, b.out, "out");
+  cmp(a.lse, b.lse, "lse");
+  cmp(a.dq, b.dq, "dq");
+  cmp(a.dk, b.dk, "dk");
+  cmp(a.dv, b.dv, "dv");
+}
+
+TEST(FusedDeterminism, BitIdenticalAcrossThreadCountsAndRuns) {
+  Rng rng(105);
+  const float scale = 1.0f / std::sqrt(8.0f);
+  Tensor q = Tensor::Randn({6, 41, 8}, rng);
+  Tensor k = Tensor::Randn({6, 57, 8}, rng);
+  Tensor v = Tensor::Randn({6, 57, 8}, rng);
+  Tensor g = Tensor::Randn({6, 41, 8}, rng);
+
+  int64_t prev_threads = ParallelThreadCount();
+  SetParallelThreadCount(1);
+  FusedRound base = RunFusedRound(q, k, v, g, scale);
+  FusedRound again = RunFusedRound(q, k, v, g, scale);
+  ExpectRoundsBitEqual(base, again, "1 thread, repeated run");
+  for (int64_t threads : {2, 4}) {
+    SetParallelThreadCount(threads);
+    FusedRound r = RunFusedRound(q, k, v, g, scale);
+    ExpectRoundsBitEqual(base, r,
+                         std::to_string(threads) + " threads vs 1");
+  }
+  SetParallelThreadCount(prev_threads);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel counters
+// ---------------------------------------------------------------------------
+
+TEST(FusedCounters, RowsBlocksAndAvoidedBytesAdvance) {
+  Rng rng(106);
+  const int64_t batch = 3, s_q = 10, s_k = 37, dh = 8;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Tensor q = Tensor::Randn({batch, s_q, dh}, rng);
+  Tensor k = Tensor::Randn({batch, s_k, dh}, rng);
+  Tensor v = Tensor::Randn({batch, s_k, dh}, rng);
+  Tensor out(q.shape()), lse(Shape{batch, s_q});
+
+  kn::KernelStats before = kn::GetKernelStats();
+  kn::FusedAttentionForward(batch, s_q, s_k, dh, scale, q.data(), k.data(),
+                            v.data(), out.data(), lse.data(), &k);
+  kn::KernelStats after = kn::GetKernelStats();
+
+  const uint64_t rows = static_cast<uint64_t>(batch * s_q);
+  const uint64_t panels = static_cast<uint64_t>((s_k + 15) / 16);
+  EXPECT_EQ(after.fused_attn_rows - before.fused_attn_rows, rows);
+  EXPECT_EQ(after.fused_attn_kv_blocks - before.fused_attn_kv_blocks,
+            rows * panels);
+  // Scores written once and softmax rewritten once on the reference chain:
+  // 2 * batch * s_q * s_k floats never touched memory.
+  EXPECT_EQ(after.fused_attn_bytes_avoided - before.fused_attn_bytes_avoided,
+            2u * rows * static_cast<uint64_t>(s_k) * sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// Seeded golden
+// ---------------------------------------------------------------------------
+
+// Freezes the fused kernel's exact bits on a seeded problem: the fused path
+// promises bitwise self-consistency, so any rounding-order change in the
+// kernel must show up here (and be an intentional regen).
+TEST(FusedAttentionGolden, SeededForwardMatchesGolden) {
+  Rng rng(20260808);
+  const int64_t batch = 2, s_q = 9, s_k = 21, dh = 4;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Tensor q = Tensor::Randn({batch, s_q, dh}, rng);
+  Tensor k = Tensor::Randn({batch, s_k, dh}, rng);
+  Tensor v = Tensor::Randn({batch, s_k, dh}, rng);
+  Tensor out(q.shape()), lse(Shape{batch, s_q});
+  kn::FusedAttentionForward(batch, s_q, s_k, dh, scale, q.data(), k.data(),
+                            v.data(), out.data(), lse.data(), &k);
+
+  const std::string path = PRISTI_ATTN_GOLDEN_PATH;
+  if (!pristi::GetEnvOr("PRISTI_REGEN_GOLDEN", "").empty()) {
+    std::ofstream golden(path);
+    ASSERT_TRUE(golden.good()) << "cannot write golden " << path;
+    golden << "# seeded fused-attention forward (out rows then lse rows)\n"
+           << "# regen: PRISTI_REGEN_GOLDEN=1 ./attention_fused_test "
+              "--gtest_filter='FusedAttentionGolden.*'\n"
+           << out.numel() << " " << lse.numel() << "\n";
+    golden.precision(9);
+    golden << std::scientific;
+    for (int64_t i = 0; i < out.numel(); ++i) golden << out[i] << "\n";
+    for (int64_t i = 0; i < lse.numel(); ++i) golden << lse[i] << "\n";
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream golden(path);
+  ASSERT_TRUE(golden.good())
+      << "missing golden " << path
+      << "; regenerate with PRISTI_REGEN_GOLDEN=1 ./attention_fused_test";
+  std::string line;
+  std::vector<float> expected;
+  int64_t out_count = -1, lse_count = -1;
+  while (std::getline(golden, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    if (out_count < 0) {
+      ASSERT_TRUE(static_cast<bool>(fields >> out_count >> lse_count))
+          << "bad golden header";
+      continue;
+    }
+    double value = 0.0;
+    ASSERT_TRUE(static_cast<bool>(fields >> value)) << "bad golden line";
+    expected.push_back(static_cast<float>(value));
+  }
+  ASSERT_EQ(out_count, out.numel());
+  ASSERT_EQ(lse_count, lse.numel());
+  ASSERT_EQ(expected.size(),
+            static_cast<size_t>(out.numel() + lse.numel()));
+  // 9 significant digits round-trip a float exactly, so the comparison is
+  // bitwise despite the text encoding.
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_EQ(expected[static_cast<size_t>(i)], out[i]) << "out[" << i << "]";
+  }
+  for (int64_t i = 0; i < lse.numel(); ++i) {
+    EXPECT_EQ(expected[static_cast<size_t>(out.numel() + i)], lse[i])
+        << "lse[" << i << "]";
+  }
+}
+
+}  // namespace
+}  // namespace pristi::tensor

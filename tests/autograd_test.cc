@@ -224,6 +224,72 @@ TEST(GradCheck, BatchedMatMulTN) {
   EXPECT_TRUE(r.ok) << r.message;
 }
 
+TEST(GradCheck, BatchedMatMulNTScaled) {
+  Rng rng(66);
+  auto r = CheckGradients(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(BatchedMatMulNTScaled(v[0], v[1], 0.37f)));
+      },
+      {Tensor::Randn({2, 3, 4}, rng), Tensor::Randn({2, 5, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// The scaled NT product must equal the MulScalar composition it replaced,
+// bitwise, forward and backward (the reference attention path's goldens
+// depend on it).
+TEST(BatchedMatMulNTScaledGrad, MatchesMulScalarComposition) {
+  Rng rng(67);
+  const float scale = 1.0f / std::sqrt(8.0f);
+  Tensor a0 = Tensor::Randn({3, 4, 6}, rng);
+  Tensor b0 = Tensor::Randn({3, 5, 6}, rng);
+  Variable a1 = Variable(a0, true), b1 = Variable(b0, true);
+  Variable a2 = Variable(a0, true), b2 = Variable(b0, true);
+  Variable fused = BatchedMatMulNTScaled(a1, b1, scale);
+  Variable composed = MulScalar(BatchedMatMulNT(a2, b2), scale);
+  ASSERT_EQ(fused.value().numel(), composed.value().numel());
+  for (int64_t i = 0; i < fused.value().numel(); ++i) {
+    ASSERT_EQ(fused.value()[i], composed.value()[i]) << "forward at " << i;
+  }
+  SumAll(Square(fused)).Backward();
+  SumAll(Square(composed)).Backward();
+  for (int64_t i = 0; i < a0.numel(); ++i) {
+    ASSERT_EQ(a1.grad()[i], a2.grad()[i]) << "da at " << i;
+  }
+  for (int64_t i = 0; i < b0.numel(); ++i) {
+    ASSERT_EQ(b1.grad()[i], b2.grad()[i]) << "db at " << i;
+  }
+}
+
+// Fused streaming attention: the custom backward (block recomputation from
+// the saved logsumexp) against central differences. Plain self-attention
+// shape, a virtual-node shape (s_k << s_q, the pk_/pv_ path's geometry),
+// and ragged sizes that exercise the kv-block tail (s_k not a multiple of
+// the kColTile block width) and an odd head_dim.
+TEST(GradCheck, FusedAttention) {
+  Rng rng(68);
+  auto attn = [](std::vector<Variable>& v) {
+    int64_t dh = v[0].value().dim(-1);
+    float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+    return SumAll(Square(FusedAttention(v[0], v[1], v[2], scale)));
+  };
+  // Plain: s_q == s_k == 5, dh = 4, batched (2, 2) leading dims.
+  auto r = CheckGradients(attn, {Tensor::Randn({2, 2, 5, 4}, rng),
+                                 Tensor::Randn({2, 2, 5, 4}, rng),
+                                 Tensor::Randn({2, 2, 5, 4}, rng)});
+  EXPECT_TRUE(r.ok) << "plain: " << r.message;
+  // Virtual-node geometry: 7 query positions against 2 compressed kv rows.
+  r = CheckGradients(attn, {Tensor::Randn({2, 7, 4}, rng),
+                            Tensor::Randn({2, 2, 4}, rng),
+                            Tensor::Randn({2, 2, 4}, rng)});
+  EXPECT_TRUE(r.ok) << "virtual-node: " << r.message;
+  // Tail block + odd head_dim: s_k = 19 spans one full kv block and a
+  // ragged remainder; dh = 3 is not a SIMD-friendly width.
+  r = CheckGradients(attn, {Tensor::Randn({2, 6, 3}, rng),
+                            Tensor::Randn({2, 19, 3}, rng),
+                            Tensor::Randn({2, 19, 3}, rng)});
+  EXPECT_TRUE(r.ok) << "tail: " << r.message;
+}
+
 // The NT composition must also agree with the transpose-then-multiply
 // spelling it replaced, both forward (bitwise) and backward.
 TEST(MatMulNTGrad, MatchesExplicitTransposeComposition) {

@@ -38,6 +38,7 @@
 #include "serialize/checkpoint.h"
 #include "serialize/format.h"
 #include "serialize/status.h"
+#include "tensor/kernels/attention.h"
 #include "test_tmpdir.h"
 
 namespace pristi::serialize {
@@ -743,8 +744,16 @@ TEST(ResumeEquivalence, TrainerRetentionKeepsLastK) {
 #define PRISTI_TRAIN_GOLDEN_PATH "tests/golden/train_loss_aqi36.txt"
 #endif
 
-// The short seeded AQI-36-preset run this golden pins down.
+// The short seeded AQI-36-preset run this golden pins down. Always runs on
+// the reference (materialized) attention path so the golden's bitwise
+// meaning stays independent of the fused kernel's internals; the fused path
+// is covered by the 1e-5 tolerance contract in attention_fused_test.
 std::vector<double> GoldenTrainingRun() {
+  bool fused_was = t::kernels::SetFusedAttentionEnabled(false);
+  struct Restore {
+    bool prev;
+    ~Restore() { t::kernels::SetFusedAttentionEnabled(prev); }
+  } restore{fused_was};
   data::ImputationTask task = MakeTrainTask(36, 192, 2024);
   diffusion::NoiseSchedule schedule =
       diffusion::NoiseSchedule::Quadratic(8, 1e-4f, 0.2f);

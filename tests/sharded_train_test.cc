@@ -34,6 +34,7 @@
 #include "nn/layers.h"
 #include "pristi/pristi_model.h"
 #include "serialize/checkpoint.h"
+#include "tensor/kernels/attention.h"
 #include "test_tmpdir.h"
 
 namespace pristi::diffusion {
@@ -360,6 +361,14 @@ TEST(ShardModeMismatchDeathTest, ResumeRefusesToCrossModes) {
 // the global loss denom differ by design); what the golden freezes is that
 // the sharded trajectory itself never drifts.
 std::vector<double> GoldenShardedRun() {
+  // Pinned to the reference attention path for the same reason as the
+  // single-stream golden: the checked-in bytes must not depend on the
+  // fused kernel's internals.
+  bool fused_was = t::kernels::SetFusedAttentionEnabled(false);
+  struct Restore {
+    bool prev;
+    ~Restore() { t::kernels::SetFusedAttentionEnabled(prev); }
+  } restore{fused_was};
   data::ImputationTask task = MakeTrainTask(36, 192, 2024);
   NoiseSchedule schedule = NoiseSchedule::Quadratic(8, 1e-4f, 0.2f);
   auto model = MakeTinyModel(36, 8, 7);

@@ -169,6 +169,65 @@ if [ "${PRISTI_SHARD_BITEQ:-1}" != "0" ]; then
   fi
 fi
 
+# ---- leg 6: fused-attention sampler-output parity ---------------------------
+# Trains a tiny seeded model once, then imputes the same task twice through
+# pristi_cli — PRISTI_ATTN_FUSED=1 vs PRISTI_ATTN_FUSED=0 — and compares the
+# completed-series CSVs cell by cell under a tolerance. The fused kernel's
+# contract is <= 1e-5 vs the reference per attention forward; through the
+# full reverse-diffusion chain and denormalization the divergence stays far
+# below 0.05 in data units, while a wrong attention output diverges by
+# orders of magnitude more. Skip with PRISTI_ATTN_PARITY=0.
+if [ "${PRISTI_ATTN_PARITY:-1}" != "0" ]; then
+  build_dir="$repo_root/build-shard-biteq"
+  echo "==== [attn-parity] configure -> $build_dir ===="
+  attn_tmp="$build_dir/attn-parity-out"
+  attn_flags="--preset=aqi --nodes=12 --gen-steps=120 --window=8 --stride=8"
+  if cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+      && cmake --build "$build_dir" -j "$jobs" --target pristi_cli \
+      && mkdir -p "$attn_tmp" \
+      && "$build_dir/tools/pristi_cli" train $attn_flags \
+          --epochs=2 --batch=4 --steps-diffusion=8 \
+          --model-out="$attn_tmp/model.ckpt" > "$attn_tmp/train.log" 2>&1 \
+      && PRISTI_ATTN_FUSED=1 "$build_dir/tools/pristi_cli" impute \
+          $attn_flags --steps-diffusion=8 --samples=4 --seed=5 \
+          --model="$attn_tmp/model.ckpt" \
+          --out="$attn_tmp/fused.csv" > "$attn_tmp/fused.log" 2>&1 \
+      && PRISTI_ATTN_FUSED=0 "$build_dir/tools/pristi_cli" impute \
+          $attn_flags --steps-diffusion=8 --samples=4 --seed=5 \
+          --model="$attn_tmp/model.ckpt" \
+          --out="$attn_tmp/reference.csv" > "$attn_tmp/reference.log" 2>&1 \
+      && awk -F, -v tol=0.05 '
+          NR == FNR { a[FNR] = $0; rows = FNR; next }
+          {
+            n = split(a[FNR], x, ",");
+            if (n != NF) { print "column count mismatch at line " FNR; bad = 1; exit 1 }
+            for (i = 1; i <= NF; ++i) {
+              # Empty cells (masked-missing in the CSV format) must agree
+              # on emptiness; numeric cells compare under tol.
+              if (x[i] == "" || $i == "") {
+                if (x[i] != $i) { print "emptiness mismatch line " FNR " col " i; bad = 1; exit 1 }
+                continue;
+              }
+              d = x[i] - $i; if (d < 0) d = -d;
+              if (d > max) max = d;
+              if (d > tol) {
+                print "parity exceeded at line " FNR " col " i ": " x[i] " vs " $i " (|d|=" d ")";
+                bad = 1; exit 1;
+              }
+            }
+          }
+          END {
+            if (!bad && FNR != rows) { print "row count mismatch"; bad = 1 }
+            if (!bad) printf "max |fused - reference| = %.3g (tol %.3g)\n", max, tol;
+            exit bad;
+          }' "$attn_tmp/fused.csv" "$attn_tmp/reference.csv"; then
+    echo "==== [attn-parity] OK (fused-on == fused-off within tolerance) ===="
+  else
+    echo "==== [attn-parity] FAILED ===="
+    status=1
+  fi
+fi
+
 if [ "$status" -ne 0 ]; then
   echo "run_static_analysis: FAILURES detected (see logs above)"
 else
